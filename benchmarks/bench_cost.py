@@ -1,0 +1,11 @@
+"""Benchmark + regeneration harness for the cost-efficiency experiment.
+
+Runs the cost experiment (quick mode), prints the cost-to-converge table,
+and asserts all shape checks hold.
+"""
+
+from conftest import run_experiment_once
+
+
+def test_cost(benchmark):
+    run_experiment_once(benchmark, "cost")

@@ -1,0 +1,12 @@
+"""Benchmark + regeneration harness for the Eq. 8 locality experiment.
+
+Simulates the rating-stream L1 over a sweep of batch-Hogwild! chunk sizes
+and asserts the paper's threshold behaviour (f >> 11 suffices; f = 256 and
+f = 32 equivalent).
+"""
+
+from conftest import run_experiment_once
+
+
+def test_eq8(benchmark):
+    run_experiment_once(benchmark, "eq8")

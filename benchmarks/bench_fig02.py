@@ -1,0 +1,13 @@
+"""Benchmark + regeneration harness for paper artifact 'fig2'.
+
+Runs the fig2 experiment (quick mode), prints the same rows/series the
+paper reports, and asserts all shape checks hold. Run with::
+
+    pytest benchmarks/bench_fig02.py --benchmark-only -s
+"""
+
+from conftest import run_experiment_once
+
+
+def test_fig02(benchmark):
+    run_experiment_once(benchmark, "fig2")

@@ -1,0 +1,11 @@
+"""Benchmark + regeneration harness for the Fig. 4 kernel verification.
+
+Runs the warp-level functional model against the serial reference and
+asserts the §4 optimization claims (shuffle count, coalescing, registers).
+"""
+
+from conftest import run_experiment_once
+
+
+def test_fig04(benchmark):
+    run_experiment_once(benchmark, "fig4")

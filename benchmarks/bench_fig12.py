@@ -1,0 +1,13 @@
+"""Benchmark + regeneration harness for paper artifact 'fig12'.
+
+Runs the fig12 experiment (quick mode), prints the same rows/series the
+paper reports, and asserts all shape checks hold. Run with::
+
+    pytest benchmarks/bench_fig12.py --benchmark-only -s
+"""
+
+from conftest import run_experiment_once
+
+
+def test_fig12(benchmark):
+    run_experiment_once(benchmark, "fig12")

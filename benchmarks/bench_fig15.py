@@ -1,0 +1,13 @@
+"""Benchmark + regeneration harness for paper artifact 'fig15'.
+
+Runs the fig15 experiment (quick mode), prints the same rows/series the
+paper reports, and asserts all shape checks hold. Run with::
+
+    pytest benchmarks/bench_fig15.py --benchmark-only -s
+"""
+
+from conftest import run_experiment_once
+
+
+def test_fig15(benchmark):
+    run_experiment_once(benchmark, "fig15")

@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the SGD kernels and metrics.
+
+These measure the *host implementation's* throughput (updates/s of the
+vectorized wave engine), which is also reported so the simulated GPU
+numbers can be put in context.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import conflict_free_segments, sgd_serial_update, sgd_wave_update
+from repro.core.model import FactorModel
+from repro.metrics.rmse import rmse
+
+
+@pytest.fixture(scope="module")
+def wave_inputs(bench_problem):
+    model = FactorModel.initialize(
+        bench_problem.spec.m, bench_problem.spec.n, bench_problem.spec.k, seed=0
+    )
+    train = bench_problem.train
+    wave = np.arange(512)
+    return model, train.rows[wave], train.cols[wave], train.vals[wave]
+
+
+def test_wave_update_512(benchmark, wave_inputs):
+    model, rows, cols, vals = wave_inputs
+    benchmark(sgd_wave_update, model.p, model.q, rows, cols, vals, 0.05, 0.05)
+
+
+def test_wave_update_fp16_512(benchmark, wave_inputs):
+    model, rows, cols, vals = wave_inputs
+    half = model.to_half()
+    benchmark(sgd_wave_update, half.p, half.q, rows, cols, vals, 0.05, 0.05)
+
+
+def test_serial_update_4096(benchmark, bench_problem):
+    model = FactorModel.initialize(
+        bench_problem.spec.m, bench_problem.spec.n, bench_problem.spec.k, seed=0
+    )
+    train = bench_problem.train
+    idx = np.arange(4096)
+    benchmark(
+        sgd_serial_update,
+        model.p,
+        model.q,
+        train.rows[idx],
+        train.cols[idx],
+        train.vals[idx],
+        0.05,
+        0.05,
+    )
+
+
+def test_conflict_free_segmentation_4096(benchmark, bench_problem):
+    train = bench_problem.train
+    idx = np.arange(4096)
+    benchmark(conflict_free_segments, train.rows[idx], train.cols[idx], 64)
+
+
+def test_rmse_full_test_set(benchmark, bench_problem):
+    model = FactorModel.initialize(
+        bench_problem.spec.m, bench_problem.spec.n, bench_problem.spec.k, seed=0
+    )
+    p, q = model.as_float32()
+    benchmark(rmse, p, q, bench_problem.test)

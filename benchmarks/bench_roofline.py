@@ -1,0 +1,13 @@
+"""Benchmark + regeneration harness for paper artifact 'roofline'.
+
+Runs the roofline experiment (quick mode), prints the same rows/series the
+paper reports, and asserts all shape checks hold. Run with::
+
+    pytest benchmarks/bench_roofline.py --benchmark-only -s
+"""
+
+from conftest import run_experiment_once
+
+
+def test_roofline(benchmark):
+    run_experiment_once(benchmark, "roofline")

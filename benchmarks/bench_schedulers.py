@@ -1,0 +1,59 @@
+"""Epoch-level benchmarks of the scheduling schemes on the host engine."""
+
+import pytest
+
+from repro.baselines.libmf import LIBMFSolver
+from repro.core.hogwild import BatchHogwild
+from repro.core.model import FactorModel
+from repro.core.multi_gpu import MultiDeviceSGD
+from repro.core.wavefront import WavefrontScheduler
+from repro.metrics.throughput import updates_per_second
+
+
+def _model(problem):
+    return FactorModel.initialize(
+        problem.spec.m, problem.spec.n, problem.spec.k, seed=0
+    )
+
+
+def test_hogwild_epoch(benchmark, bench_problem):
+    sched = BatchHogwild(workers=128, f=256, seed=0)
+    model = _model(bench_problem)
+    result = benchmark.pedantic(
+        lambda: sched.run_epoch(model, bench_problem.train, 0.05, 0.05),
+        rounds=3,
+        iterations=1,
+    )
+    assert result == bench_problem.train.nnz
+    mean = benchmark.stats.stats.mean
+    rate = updates_per_second(1, bench_problem.train.nnz, mean)
+    print(f"\nhost batch-Hogwild!: {rate / 1e6:.1f}M updates/s")
+
+
+def test_wavefront_epoch(benchmark, bench_problem):
+    sched = WavefrontScheduler(workers=16, seed=0)
+    model = _model(bench_problem)
+    result = benchmark.pedantic(
+        lambda: sched.run_epoch(model, bench_problem.train, 0.05, 0.05),
+        rounds=3,
+        iterations=1,
+    )
+    assert result == bench_problem.train.nnz
+
+
+def test_multi_device_epoch(benchmark, bench_problem):
+    sched = MultiDeviceSGD(n_devices=2, i=4, j=4, workers=64, seed=0)
+    model = _model(bench_problem)
+    result = benchmark.pedantic(
+        lambda: sched.run_epoch(model, bench_problem.train, 0.05, 0.05),
+        rounds=3,
+        iterations=1,
+    )
+    assert result == bench_problem.train.nnz
+
+
+def test_libmf_epoch(benchmark, bench_problem):
+    est = LIBMFSolver(k=bench_problem.spec.k, threads=8, a=24, seed=0)
+    benchmark.pedantic(
+        lambda: est.fit(bench_problem.train, epochs=1), rounds=2, iterations=1
+    )

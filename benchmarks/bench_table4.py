@@ -1,0 +1,13 @@
+"""Benchmark + regeneration harness for paper artifact 'table4'.
+
+Runs the table4 experiment (quick mode), prints the same rows/series the
+paper reports, and asserts all shape checks hold. Run with::
+
+    pytest benchmarks/bench_table4.py --benchmark-only -s
+"""
+
+from conftest import run_experiment_once
+
+
+def test_table4(benchmark):
+    run_experiment_once(benchmark, "table4")

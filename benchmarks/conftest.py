@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.synthetic import DatasetSpec, make_synthetic
+
+
+@pytest.fixture(scope="session")
+def bench_problem():
+    """Mid-size problem for kernel/scheduler benchmarks."""
+    spec = DatasetSpec(name="bench", m=2_000, n=1_200, k=32, n_train=200_000, n_test=10_000)
+    return make_synthetic(spec, seed=1)
+
+
+def run_experiment_once(benchmark, exp_id: str):
+    """Benchmark one quick experiment run and assert its shape checks."""
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        lambda: run_experiment(exp_id, quick=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+    assert result.all_checks_pass, f"failed checks: {result.failed_checks()}"
+    return result

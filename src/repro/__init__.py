@@ -1,0 +1,38 @@
+"""repro — a reproduction of *CuMF_SGD: Parallelized Stochastic Gradient
+Descent for Matrix Factorization on GPUs* (Xie, Tan, Fong, Liang; HPDC '17).
+
+The package is organised as:
+
+* :mod:`repro.core` — the paper's contribution: the SGD kernel with explicit
+  Hogwild race semantics, the batch-Hogwild! and wavefront-update schedulers,
+  multi-device workload partitioning, and the ``CuMFSGD`` estimator.
+* :mod:`repro.data` — sparse rating containers and synthetic Table-2-shaped
+  data set generators.
+* :mod:`repro.metrics` — RMSE, #Updates/s (Eq. 7) and Flops/Byte (Eq. 5).
+* :mod:`repro.sched` — scheduling machinery: conflict predicate, LIBMF's
+  global table, the wavefront column-lock array, order enumeration.
+* :mod:`repro.gpusim` — the GPU/CPU performance-model substrate replacing
+  the paper's Maxwell/Pascal hardware.
+* :mod:`repro.baselines` — LIBMF, NOMAD, BIDMach and cuMF_ALS
+  reimplementations.
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from repro.core.trainer import CuMFSGD, TrainHistory
+from repro.core.model import FactorModel
+from repro.data.container import RatingMatrix
+from repro.data.synthetic import scaled_dataset, make_synthetic
+from repro.metrics.rmse import rmse
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CuMFSGD",
+    "TrainHistory",
+    "FactorModel",
+    "RatingMatrix",
+    "scaled_dataset",
+    "make_synthetic",
+    "rmse",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Training diagnostics and report builders.
+
+Tools used across the experiments to characterize *why* a configuration
+behaves the way it does: collision profiles over training, divergence
+detection, and side-by-side convergence comparisons.
+"""
+
+from repro.analysis.diagnostics import (
+    CollisionProfile,
+    ConvergenceComparison,
+    compare_histories,
+    detect_divergence,
+    profile_collisions,
+)
+
+__all__ = [
+    "CollisionProfile",
+    "profile_collisions",
+    "detect_divergence",
+    "ConvergenceComparison",
+    "compare_histories",
+]

@@ -1,0 +1,27 @@
+"""Baseline reimplementations (§7.2's comparison set).
+
+* :mod:`repro.baselines.libmf` — LIBMF: blocked shared-memory SGD with the
+  contended global scheduling table (and its Fig. 14 pathology).
+* :mod:`repro.baselines.nomad` — NOMAD: decentralized column-token SGD over
+  a modelled cluster network.
+* :mod:`repro.baselines.bidmach` — BIDMach: mini-batch SGD with ADAGRAD on
+  the GPU cost model.
+* :mod:`repro.baselines.als` — cuMF_ALS: exact alternating least squares
+  with its O(N·k² + (m+n)·k³) per-epoch cost model.
+"""
+
+from repro.baselines.als import ALSSolver, als_epoch_seconds
+from repro.baselines.bidmach import BIDMachSGD, bidmach_throughput
+from repro.baselines.libmf import LIBMFSolver
+from repro.baselines.nomad import NOMADSolver, nomad_epoch_seconds, nomad_memory_efficiency
+
+__all__ = [
+    "LIBMFSolver",
+    "NOMADSolver",
+    "nomad_epoch_seconds",
+    "nomad_memory_efficiency",
+    "BIDMachSGD",
+    "bidmach_throughput",
+    "ALSSolver",
+    "als_epoch_seconds",
+]

@@ -1,0 +1,58 @@
+"""The paper's primary contribution: cuMF_SGD.
+
+* :mod:`repro.core.kernels` — the SGD update kernel (§4), vectorized over a
+  wave of concurrent parallel workers with explicit Hogwild race semantics,
+  in fp32 or half-precision feature storage.
+* :mod:`repro.core.lr_schedule` — Eq. 9 learning-rate schedule plus constant
+  and ADAGRAD alternatives.
+* :mod:`repro.core.hogwild` / :mod:`repro.core.wavefront` — the two
+  GPU-specific scheduling schemes of §5.
+* :mod:`repro.core.partition` / :mod:`repro.core.multi_gpu` — the §6 workload
+  partition for data sets larger than one device's memory.
+* :mod:`repro.core.trainer` — the public ``CuMFSGD`` estimator tying it all
+  together.
+"""
+
+from repro.core.adagrad import AdaGradHogwild
+from repro.core.checkpoint import Checkpoint, load_model, save_model
+from repro.core.convergence import hogwild_safety_bound, is_safe_parallelism
+from repro.core.hogwild import BatchHogwild
+from repro.core.kernels import (
+    sgd_wave_update,
+    sgd_serial_update,
+    single_update,
+)
+from repro.core.lr_schedule import (
+    AdaGradSchedule,
+    ConstantSchedule,
+    LearningRateSchedule,
+    NomadSchedule,
+)
+from repro.core.model import FactorModel
+from repro.core.partition import GridPartition
+from repro.core.multi_gpu import MultiDeviceSGD
+from repro.core.trainer import CuMFSGD, TrainHistory
+from repro.core.wavefront import WavefrontScheduler
+
+__all__ = [
+    "sgd_wave_update",
+    "sgd_serial_update",
+    "single_update",
+    "LearningRateSchedule",
+    "ConstantSchedule",
+    "NomadSchedule",
+    "AdaGradSchedule",
+    "FactorModel",
+    "BatchHogwild",
+    "WavefrontScheduler",
+    "GridPartition",
+    "MultiDeviceSGD",
+    "CuMFSGD",
+    "TrainHistory",
+    "hogwild_safety_bound",
+    "is_safe_parallelism",
+    "AdaGradHogwild",
+    "Checkpoint",
+    "save_model",
+    "load_model",
+]

@@ -1,0 +1,74 @@
+"""ADAGRAD-driven batch-Hogwild! — the paper's stated future work.
+
+§7.2: "cuMF_SGD can also use ADAGRAD or other learning rate schedulers, for
+faster convergence. We leave it as future work." This module implements it:
+the same lock-free wave execution as :class:`repro.core.hogwild.BatchHogwild`
+but with per-element adaptive step sizes from
+:class:`repro.core.lr_schedule.AdaGradSchedule`.
+
+Race semantics note: the accumulator updates use ``np.add.at`` (every
+gradient contributes), while the parameter writes keep the last-writer-wins
+Hogwild semantics — matching a GPU implementation where the accumulator is
+updated with ``atomicAdd`` (cheap: one scalar per vector) but the fat vector
+writes stay non-atomic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hogwild import BatchHogwild
+from repro.core.kernels import wave_gradients
+from repro.core.lr_schedule import AdaGradSchedule
+from repro.core.model import FactorModel
+from repro.data.container import RatingMatrix
+
+__all__ = ["AdaGradHogwild"]
+
+
+@dataclass
+class AdaGradHogwild(BatchHogwild):
+    """Batch-Hogwild! with element-wise ADAGRAD step sizes."""
+
+    schedule: AdaGradSchedule | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.schedule is None:
+            self.schedule = AdaGradSchedule()
+        self._initialized_for: tuple[int, int] | None = None
+
+    def _ensure_state(self, model: FactorModel) -> None:
+        shape = (model.p.shape, model.q.shape)
+        if self._initialized_for != shape:
+            self.schedule.reset(model.p.shape, model.q.shape)
+            self._initialized_for = shape
+
+    def run_epoch(
+        self,
+        model: FactorModel,
+        ratings: RatingMatrix,
+        lr: float,
+        lam_p: float,
+        lam_q: float | None = None,
+    ) -> int:
+        """One epoch; ``lr`` is ignored (ADAGRAD supplies per-element rates)."""
+        lam_q = lam_p if lam_q is None else lam_q
+        self._ensure_state(model)
+        assert self.schedule is not None
+        updates = 0
+        rows, cols, vals = ratings.rows, ratings.cols, ratings.vals
+        p, q = model.p, model.q
+        for wave in self.wave_indices(ratings.nnz):
+            wr, wc, wv = rows[wave], cols[wave], vals[wave]
+            _, gp, gq = wave_gradients(p, q, wr, wc, wv, lam_p, lam_q)
+            self.schedule.accumulate(wr, wc, gp, gq)
+            rate_p, rate_q = self.schedule.elementwise_rate(wr, wc)
+            new_p = p[wr].astype(np.float32) + rate_p * gp
+            new_q = q[wc].astype(np.float32) + rate_q * gq
+            p[wr] = new_p if p.dtype == np.float32 else new_p.astype(p.dtype)
+            q[wc] = new_q if q.dtype == np.float32 else new_q.astype(q.dtype)
+            updates += len(wave)
+        return updates

@@ -1,0 +1,97 @@
+"""Hogwild parallelism safety rules (§7.5).
+
+Hogwild-style parallel SGD converges only while concurrent workers rarely
+collide. The paper states:
+
+* single device: ``s << min(m, n)`` (from Recht et al. [44]);
+* with an ``i x j`` partition: ``s << min(floor(m/i), floor(n/j))``;
+* and empirically calibrates the "<<" to a factor of 20::
+
+      s < (1/20) * min(floor(m/i), floor(n/j))
+
+(Hugewiki: min(m, n) ≈ 40k, s = 768 ⇒ convergence holds for j ≤ 2 and fails
+at j = 4, exactly 40k/20/768 ≈ 2.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sched.conflict import expected_collision_fraction
+
+__all__ = [
+    "SAFETY_FACTOR",
+    "hogwild_safety_bound",
+    "is_safe_parallelism",
+    "max_safe_partitions",
+    "ParallelismCheck",
+    "check_parallelism",
+]
+
+#: The paper's empirical "much less than" factor.
+SAFETY_FACTOR = 20
+
+
+def hogwild_safety_bound(m: int, n: int, i: int = 1, j: int = 1) -> float:
+    """Max safe worker count: ``min(floor(m/i), floor(n/j)) / 20``."""
+    if min(m, n, i, j) <= 0:
+        raise ValueError("m, n, i, j must all be positive")
+    if i > m or j > n:
+        raise ValueError(f"partition ({i}, {j}) exceeds matrix shape ({m}, {n})")
+    return min(m // i, n // j) / SAFETY_FACTOR
+
+
+def is_safe_parallelism(s: int, m: int, n: int, i: int = 1, j: int = 1) -> bool:
+    """True when ``s`` workers satisfy the §7.5 safety rule."""
+    if s <= 0:
+        raise ValueError(f"worker count must be positive, got {s}")
+    return s < hogwild_safety_bound(m, n, i, j)
+
+
+def max_safe_partitions(s: int, m: int, n: int) -> tuple[int, int]:
+    """Largest (i, j) grid that keeps ``s`` workers per block safe.
+
+    This answers the paper's Hugewiki question: how finely may R be split
+    before convergence breaks?
+    """
+    if s <= 0:
+        raise ValueError(f"worker count must be positive, got {s}")
+    i_max = max(1, m // (SAFETY_FACTOR * s))
+    j_max = max(1, n // (SAFETY_FACTOR * s))
+    return i_max, j_max
+
+
+@dataclass(frozen=True)
+class ParallelismCheck:
+    """Structured verdict returned by :func:`check_parallelism`."""
+
+    s: int
+    block_m: int
+    block_n: int
+    bound: float
+    safe: bool
+    expected_collisions: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        verdict = "SAFE" if self.safe else "UNSAFE"
+        return (
+            f"{verdict}: s={self.s} vs bound {self.bound:.1f} "
+            f"(block {self.block_m}x{self.block_n}, "
+            f"E[collisions/wave]={self.expected_collisions:.3f})"
+        )
+
+
+def check_parallelism(s: int, m: int, n: int, i: int = 1, j: int = 1) -> ParallelismCheck:
+    """Full diagnostic: bound, verdict, and the expected collision fraction
+    of a random wave in one partition block."""
+    block_m, block_n = m // i, n // j
+    if block_m == 0 or block_n == 0:
+        raise ValueError(f"partition ({i}, {j}) leaves an empty block for ({m}, {n})")
+    return ParallelismCheck(
+        s=s,
+        block_m=block_m,
+        block_n=block_n,
+        bound=hogwild_safety_bound(m, n, i, j),
+        safe=is_safe_parallelism(s, m, n, i, j),
+        expected_collisions=expected_collision_fraction(s, block_m, block_n),
+    )

@@ -1,0 +1,175 @@
+"""Incremental training — the paper's second stated future-work item.
+
+§9: "In future, we plan to extend cuMF_SGD to multiple nodes and
+investigate how to deal with incremental training." This module implements
+the standard incremental-update toolkit on top of the trained factors:
+
+* :func:`fold_in_users` / :func:`fold_in_items` — closed-form ridge fold-in
+  of brand-new entities against the *fixed* opposite factor (one ALS
+  half-step restricted to the new rows), the cheap path for cold-start;
+* :func:`incremental_fit` — a few batch-Hogwild! epochs over **only the new
+  samples** (optionally mixed with a replay sample of old data to resist
+  forgetting), warm-starting from the trained model.
+
+The paper's own observation motivates the design: "SGD converges faster and
+is easy to do incremental update" (§7.4) — new samples can be streamed
+through the same lock-free update path without retraining from scratch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hogwild import BatchHogwild
+from repro.core.lr_schedule import ConstantSchedule, LearningRateSchedule
+from repro.core.model import FactorModel
+from repro.data.container import RatingMatrix
+
+__all__ = ["fold_in_users", "fold_in_items", "incremental_fit", "expand_model"]
+
+
+def expand_model(model: FactorModel, new_m: int, new_n: int, seed: int = 0) -> FactorModel:
+    """Grow P/Q to ``(new_m, new_n)`` rows, initializing the new entities
+    with the Algorithm-1 distribution. Existing factors are preserved."""
+    if new_m < model.m or new_n < model.n:
+        raise ValueError(
+            f"model can only grow: ({model.m}, {model.n}) -> ({new_m}, {new_n})"
+        )
+    rng = np.random.default_rng(seed)
+    hi = np.sqrt(1.0 / model.k)
+    dtype = model.p.dtype
+
+    def grow(mat: np.ndarray, rows: int) -> np.ndarray:
+        if rows == mat.shape[0]:
+            return mat.copy()
+        extra = rng.uniform(0.0, hi, size=(rows - mat.shape[0], model.k)).astype(dtype)
+        return np.vstack([mat, extra])
+
+    return FactorModel(grow(model.p, new_m), grow(model.q, new_n))
+
+
+def _ridge_fold_in(
+    fixed: np.ndarray,
+    own_idx: np.ndarray,
+    other_idx: np.ndarray,
+    vals: np.ndarray,
+    n_rows: int,
+    lam: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Solve ``min ||r - x·fixed||² + λ·cnt·||x||²`` per new row.
+
+    Returns ``(solutions, touched_mask)`` over ``n_rows`` rows.
+    """
+    k = fixed.shape[1]
+    fv = fixed[other_idx].astype(np.float32)
+    gram = np.zeros((n_rows, k, k), dtype=np.float32)
+    rhs = np.zeros((n_rows, k), dtype=np.float32)
+    np.add.at(gram, own_idx, fv[:, :, None] * fv[:, None, :])
+    np.add.at(rhs, own_idx, vals.astype(np.float32)[:, None] * fv)
+    counts = np.bincount(own_idx, minlength=n_rows).astype(np.float32)
+    reg = np.maximum(lam * counts, lam)
+    gram += reg[:, None, None] * np.eye(k, dtype=np.float32)[None]
+    solved = np.linalg.solve(gram, rhs[..., None])[..., 0]
+    return solved, counts > 0
+
+
+def fold_in_users(
+    model: FactorModel,
+    ratings: RatingMatrix,
+    user_ids: np.ndarray,
+    lam: float = 0.05,
+) -> FactorModel:
+    """Closed-form fold-in of the given (new) users against fixed Q.
+
+    ``ratings`` must contain the new users' samples (other samples are
+    ignored). Returns a model with those P rows replaced; Q is untouched.
+    """
+    user_ids = np.unique(np.asarray(user_ids))
+    if user_ids.size == 0:
+        raise ValueError("no user ids given")
+    if user_ids.max() >= model.m:
+        raise ValueError("fold-in targets must already exist; use expand_model first")
+    mask = np.isin(ratings.rows, user_ids)
+    if not mask.any():
+        raise ValueError("ratings contain no samples for the given users")
+    q32 = model.q.astype(np.float32)
+    solved, touched = _ridge_fold_in(
+        q32, ratings.rows[mask], ratings.cols[mask], ratings.vals[mask],
+        model.m, lam,
+    )
+    p = model.p.copy()
+    update = user_ids[touched[user_ids]]
+    p[update] = solved[update].astype(p.dtype)
+    return FactorModel(p, model.q.copy())
+
+
+def fold_in_items(
+    model: FactorModel,
+    ratings: RatingMatrix,
+    item_ids: np.ndarray,
+    lam: float = 0.05,
+) -> FactorModel:
+    """Closed-form fold-in of the given (new) items against fixed P."""
+    item_ids = np.unique(np.asarray(item_ids))
+    if item_ids.size == 0:
+        raise ValueError("no item ids given")
+    if item_ids.max() >= model.n:
+        raise ValueError("fold-in targets must already exist; use expand_model first")
+    mask = np.isin(ratings.cols, item_ids)
+    if not mask.any():
+        raise ValueError("ratings contain no samples for the given items")
+    p32 = model.p.astype(np.float32)
+    solved, touched = _ridge_fold_in(
+        p32, ratings.cols[mask], ratings.rows[mask], ratings.vals[mask],
+        model.n, lam,
+    )
+    q = model.q.copy()
+    update = item_ids[touched[item_ids]]
+    q[update] = solved[update].astype(q.dtype)
+    return FactorModel(model.p.copy(), q)
+
+
+def incremental_fit(
+    model: FactorModel,
+    new_ratings: RatingMatrix,
+    epochs: int = 3,
+    lam: float = 0.05,
+    schedule: LearningRateSchedule | None = None,
+    workers: int = 64,
+    replay: RatingMatrix | None = None,
+    replay_fraction: float = 0.25,
+    seed: int = 0,
+) -> FactorModel:
+    """Stream new samples through the lock-free SGD path, in place.
+
+    ``replay`` optionally mixes a random ``replay_fraction`` of old samples
+    into each epoch so heavily-updated entities do not drift away from the
+    historical data (catastrophic-forgetting guard). Returns ``model`` (the
+    same object, mutated) for chaining.
+    """
+    if epochs <= 0:
+        raise ValueError(f"epochs must be positive, got {epochs}")
+    if not 0.0 <= replay_fraction <= 1.0:
+        raise ValueError(f"replay_fraction must be in [0, 1], got {replay_fraction}")
+    if new_ratings.n_rows > model.m or new_ratings.n_cols > model.n:
+        raise ValueError("new ratings exceed the model's shape; expand_model first")
+    schedule = schedule or ConstantSchedule(0.02)
+    rng = np.random.default_rng(seed)
+    executor = BatchHogwild(workers=workers, seed=seed)
+    for epoch in range(epochs):
+        batch = new_ratings
+        if replay is not None and replay_fraction > 0 and replay.nnz:
+            n_replay = int(replay_fraction * new_ratings.nnz)
+            if n_replay:
+                sel = rng.choice(replay.nnz, size=min(n_replay, replay.nnz),
+                                 replace=False)
+                batch = RatingMatrix(
+                    rows=np.concatenate([new_ratings.rows, replay.rows[sel]]),
+                    cols=np.concatenate([new_ratings.cols, replay.cols[sel]]),
+                    vals=np.concatenate([new_ratings.vals, replay.vals[sel]]),
+                    n_rows=model.m,
+                    n_cols=model.n,
+                    name="incremental-batch",
+                )
+        executor.run_epoch(model, batch, schedule(epoch), lam)
+    return model

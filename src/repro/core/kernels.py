@@ -1,0 +1,208 @@
+"""SGD update kernels (§4 of the paper), as vectorized NumPy.
+
+On the GPU, one *parallel worker* is a 32-thread thread block that performs
+one SGD update: read the sample, read ``p_u`` and ``q_v``, compute the error
+via a warp-shuffle dot product, and write both feature vectors back. Hundreds
+of such workers run concurrently and race on shared feature matrices
+(Hogwild! semantics — no locks, lost updates allowed).
+
+Here, one call to :func:`sgd_wave_update` executes **one concurrent wave**:
+``s`` workers each perform one update *from the same snapshot* of P and Q.
+
+Race semantics, made explicit
+-----------------------------
+* **Stale reads** — all workers gather ``P[rows]`` / ``Q[cols]`` before any
+  worker writes, the most adversarial interleaving a real GPU can produce
+  within a wave.
+* **Lost updates** — the scatter ``P[rows] = new`` resolves duplicate rows
+  with last-writer-wins, exactly like racing non-atomic stores.
+
+This makes the convergence behaviour of parallel SGD (the ``s ≪ min(m, n)``
+requirement of §7.5) reproducible and deterministic.
+
+Half-precision (§4) is modelled by storing P/Q as ``float16`` and computing
+in ``float32``, matching the paper's claim that fp16 storage halves feature
+traffic without hurting accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sgd_wave_update",
+    "sgd_serial_update",
+    "single_update",
+    "wave_gradients",
+    "conflict_free_segments",
+]
+
+
+def _gather(mat: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """Snapshot-read rows of a feature matrix, promoting fp16 to fp32.
+
+    Fancy indexing copies, which is precisely the snapshot we want.
+    """
+    rows = mat[idx]
+    if rows.dtype != np.float32:
+        rows = rows.astype(np.float32)
+    return rows
+
+
+def _scatter(mat: np.ndarray, idx: np.ndarray, values: np.ndarray) -> None:
+    """Racy write-back: duplicate indices resolve last-writer-wins."""
+    if mat.dtype == np.float32:
+        mat[idx] = values
+    else:
+        mat[idx] = values.astype(mat.dtype)
+
+
+def wave_gradients(
+    p: np.ndarray,
+    q: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    lam_p: float,
+    lam_q: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-sample errors and raw gradient directions for one wave.
+
+    Returns ``(err, gp, gq)`` where ``gp = err*q_v - λ_p*p_u`` is the ascent
+    direction for ``p_u`` (line 9 of Algorithm 1) and ``gq`` likewise for
+    ``q_v``. No writes are performed.
+    """
+    pu = _gather(p, rows)
+    qv = _gather(q, cols)
+    err = vals.astype(np.float32) - np.einsum("ij,ij->i", pu, qv)
+    gp = err[:, None] * qv - lam_p * pu
+    gq = err[:, None] * pu - lam_q * qv
+    return err, gp, gq
+
+
+def sgd_wave_update(
+    p: np.ndarray,
+    q: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    lr: float,
+    lam_p: float,
+    lam_q: float | None = None,
+) -> np.ndarray:
+    """One concurrent wave of SGD updates with Hogwild race semantics.
+
+    Every sample in the wave is one parallel worker's update. All reads use
+    the pre-wave snapshot of P and Q; writes race (last writer wins on
+    duplicate rows/columns). Mutates ``p`` and ``q`` in place and returns the
+    per-sample prediction errors (useful for monitoring).
+    """
+    lam_q = lam_p if lam_q is None else lam_q
+    pu = _gather(p, rows)
+    qv = _gather(q, cols)
+    err = vals.astype(np.float32) - np.einsum("ij,ij->i", pu, qv)
+    lr32 = np.float32(lr)
+    new_p = pu + lr32 * (err[:, None] * qv - np.float32(lam_p) * pu)
+    new_q = qv + lr32 * (err[:, None] * pu - np.float32(lam_q) * qv)
+    _scatter(p, rows, new_p)
+    _scatter(q, cols, new_q)
+    return err
+
+
+def single_update(
+    p: np.ndarray,
+    q: np.ndarray,
+    u: int,
+    v: int,
+    r: float,
+    lr: float,
+    lam_p: float,
+    lam_q: float | None = None,
+) -> float:
+    """Exactly one serial SGD update (lines 8-10 of Algorithm 1).
+
+    The reference semantics against which the wave kernel is validated:
+    ``sgd_wave_update`` on a single sample must match this bit-for-bit in
+    fp32. Returns the prediction error before the update.
+    """
+    lam_q = lam_p if lam_q is None else lam_q
+    pu = p[u].astype(np.float32)
+    qv = q[v].astype(np.float32)
+    err = np.float32(r) - np.float32(np.dot(pu, qv))
+    lr32 = np.float32(lr)
+    new_p = pu + lr32 * (err * qv - np.float32(lam_p) * pu)
+    new_q = qv + lr32 * (err * pu - np.float32(lam_q) * qv)
+    p[u] = new_p if p.dtype == np.float32 else new_p.astype(p.dtype)
+    q[v] = new_q if q.dtype == np.float32 else new_q.astype(q.dtype)
+    return float(err)
+
+
+def _prev_occurrence(x: np.ndarray) -> np.ndarray:
+    """For each position, the previous position holding the same value (-1 if none)."""
+    order = np.argsort(x, kind="stable")
+    xs = x[order]
+    prev = np.full(len(x), -1, dtype=np.int64)
+    if len(x) > 1:
+        same = xs[1:] == xs[:-1]
+        prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
+def conflict_free_segments(
+    rows: np.ndarray, cols: np.ndarray, max_wave: int = 64
+) -> list[tuple[int, int]]:
+    """Greedy partition of a sample sequence into conflict-free runs.
+
+    Each returned ``[start, stop)`` segment contains no repeated row and no
+    repeated column (Eq. 6 holds pairwise within it), and is at most
+    ``max_wave`` long. Conflict-free waves commute with serial execution, so
+    replaying the segments in order is numerically identical to a serial
+    pass over the sequence.
+    """
+    n = len(rows)
+    if n == 0:
+        return []
+    prev = np.maximum(_prev_occurrence(rows), _prev_occurrence(cols))
+    segments: list[tuple[int, int]] = []
+    start = 0
+    while start < n:
+        limit = min(start + max_wave, n)
+        window = prev[start + 1 : limit]
+        hits = np.nonzero(window >= start)[0]
+        stop = start + 1 + int(hits[0]) if len(hits) else limit
+        segments.append((start, stop))
+        start = stop
+    return segments
+
+
+def sgd_serial_update(
+    p: np.ndarray,
+    q: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    lr: float,
+    lam_p: float,
+    lam_q: float | None = None,
+    max_wave: int = 64,
+) -> None:
+    """Serial-equivalent batched update for samples owned by ONE worker.
+
+    Within a parallel worker (a block of the wavefront grid, or one
+    batch-Hogwild! chunk) updates are executed serially on the GPU. Looping
+    one sample at a time in Python is prohibitively slow, so we process the
+    sequence in conflict-free sub-waves (see :func:`conflict_free_segments`),
+    which are numerically faithful to per-worker serial order, just faster.
+    """
+    lam_q = lam_p if lam_q is None else lam_q
+    for start, stop in conflict_free_segments(rows, cols, max_wave):
+        sgd_wave_update(
+            p,
+            q,
+            rows[start:stop],
+            cols[start:stop],
+            vals[start:stop],
+            lr,
+            lam_p,
+            lam_q,
+        )

@@ -1,0 +1,115 @@
+"""Learning-rate schedules (§7.1).
+
+The paper adopts NOMAD's schedule (Eq. 9)::
+
+    γ_t = α / (1 + β · t^1.5)
+
+with per-data-set (α, β) from Table 3. BIDMach instead uses ADAGRAD; the
+paper lists adopting ADAGRAD inside cuMF_SGD as future work, which we
+implement here as an optional extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "LearningRateSchedule",
+    "ConstantSchedule",
+    "NomadSchedule",
+    "AdaGradSchedule",
+    "schedule_from_name",
+]
+
+
+class LearningRateSchedule:
+    """Base class: maps an epoch index ``t`` (0-based) to a learning rate."""
+
+    def rate(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def __call__(self, epoch: int) -> float:
+        if epoch < 0:
+            raise ValueError(f"epoch must be non-negative, got {epoch}")
+        return self.rate(epoch)
+
+
+@dataclass(frozen=True)
+class ConstantSchedule(LearningRateSchedule):
+    """Fixed learning rate (LIBMF's default initial setting is 0.1)."""
+
+    gamma: float = 0.1
+
+    def rate(self, epoch: int) -> float:
+        return self.gamma
+
+
+@dataclass(frozen=True)
+class NomadSchedule(LearningRateSchedule):
+    """Eq. 9: ``γ_t = α / (1 + β·t^1.5)`` — monotonically decreasing."""
+
+    alpha: float = 0.08
+    beta: float = 0.3
+
+    def rate(self, epoch: int) -> float:
+        return self.alpha / (1.0 + self.beta * epoch**1.5)
+
+
+@dataclass
+class AdaGradSchedule(LearningRateSchedule):
+    """Element-wise ADAGRAD accumulator (BIDMach's scheme; cuMF future work).
+
+    Unlike the epoch schedules this one is stateful: callers feed squared
+    gradients via :meth:`accumulate` and read per-element rates with
+    :meth:`elementwise_rate`. ``rate(epoch)`` returns the base rate so the
+    object can still stand in where only a scalar is consumed.
+    """
+
+    base_rate: float = 0.1
+    eps: float = 1e-6
+    _accum_p: np.ndarray | None = field(default=None, repr=False)
+    _accum_q: np.ndarray | None = field(default=None, repr=False)
+
+    def rate(self, epoch: int) -> float:
+        return self.base_rate
+
+    def reset(self, p_shape: tuple[int, int], q_shape: tuple[int, int]) -> None:
+        self._accum_p = np.zeros(p_shape, dtype=np.float32)
+        self._accum_q = np.zeros(q_shape, dtype=np.float32)
+
+    def accumulate(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        gp: np.ndarray,
+        gq: np.ndarray,
+    ) -> None:
+        """Add squared gradients for the touched rows/columns."""
+        if self._accum_p is None or self._accum_q is None:
+            raise RuntimeError("call reset() with the model shapes first")
+        np.add.at(self._accum_p, rows, gp.astype(np.float32) ** 2)
+        np.add.at(self._accum_q, cols, gq.astype(np.float32) ** 2)
+
+    def elementwise_rate(
+        self, rows: np.ndarray, cols: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-element step sizes ``base / sqrt(accum + eps)`` for a wave."""
+        if self._accum_p is None or self._accum_q is None:
+            raise RuntimeError("call reset() with the model shapes first")
+        rate_p = self.base_rate / np.sqrt(self._accum_p[rows] + self.eps)
+        rate_q = self.base_rate / np.sqrt(self._accum_q[cols] + self.eps)
+        return rate_p, rate_q
+
+
+def schedule_from_name(name: str, **kwargs) -> LearningRateSchedule:
+    """Factory: ``constant`` / ``nomad`` / ``adagrad``."""
+    name = name.lower()
+    if name == "constant":
+        return ConstantSchedule(**kwargs)
+    if name == "nomad":
+        return NomadSchedule(**kwargs)
+    if name == "adagrad":
+        return AdaGradSchedule(**kwargs)
+    raise KeyError(f"unknown schedule {name!r}; choose constant, nomad, adagrad")

@@ -1,0 +1,161 @@
+"""Multi-device SGD (§6): blocks staged to devices, independent blocks in
+parallel.
+
+The coordinator divides R into an ``i x j`` grid (:class:`GridPartition`),
+and repeatedly dispatches *independent* blocks (pairwise distinct grid rows
+and columns, Eq. 6) to idle devices. Each dispatch stages the block's COO
+samples plus the touched P/Q segments to the device, runs the single-device
+batch-Hogwild! engine on the block, and copies the segments back. Samples are
+read-only and never travel back (§6.1 step 3).
+
+Numeric semantics: blocks dispatched in the same round touch disjoint
+feature segments, so executing them back-to-back is identical to running
+them on parallel devices — device parallelism here changes *time*, not
+*math*; the time side lives in :mod:`repro.gpusim.streams`.
+
+A :class:`TransferLedger` records every modelled byte crossing the
+interconnect so performance experiments (Fig. 16, Table 4 Hugewiki rows) can
+charge PCIe/NVLink costs faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.kernels import sgd_wave_update
+from repro.core.model import FactorModel
+from repro.core.partition import BlockView, GridPartition
+from repro.data.container import RatingMatrix
+
+__all__ = ["MultiDeviceSGD", "TransferLedger"]
+
+
+@dataclass
+class TransferLedger:
+    """Bytes moved across the CPU-device interconnect."""
+
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    dispatches: int = 0
+    rounds: int = 0
+
+    def charge_dispatch(self, block: BlockView, k: int, feature_bytes: int) -> None:
+        feat = block.feature_bytes(k, feature_bytes)
+        self.h2d_bytes += block.coo_bytes() + feat
+        self.d2h_bytes += feat  # samples are read-only; only features return
+        self.dispatches += 1
+
+    @property
+    def total_bytes(self) -> int:
+        return self.h2d_bytes + self.d2h_bytes
+
+
+@dataclass
+class MultiDeviceSGD:
+    """Multi-device epoch executor over an ``i x j`` partition.
+
+    Parameters
+    ----------
+    n_devices:
+        Number of (modelled) GPUs pulling independent blocks.
+    i, j:
+        Partition grid. The §7.6 rule of thumb: with ``g`` devices use at
+        least a ``2g x 2g`` grid, otherwise forced block orders hurt
+        convergence.
+    workers:
+        Concurrent parallel workers *per device* (thread blocks).
+    """
+
+    n_devices: int
+    i: int
+    j: int
+    workers: int = 256
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_devices <= 0:
+            raise ValueError(f"n_devices must be positive, got {self.n_devices}")
+        if self.n_devices > min(self.i, self.j):
+            raise ValueError(
+                f"{self.n_devices} devices cannot all hold independent blocks "
+                f"of a {self.i}x{self.j} grid; need n_devices <= min(i, j)"
+            )
+        if self.workers <= 0:
+            raise ValueError(f"workers must be positive, got {self.workers}")
+        self._rng = np.random.default_rng(self.seed)
+        self._partition: GridPartition | None = None
+        self.ledger = TransferLedger()
+
+    # ------------------------------------------------------------------
+    def partition_for(self, ratings: RatingMatrix) -> GridPartition:
+        if self._partition is None or self._partition.ratings is not ratings:
+            self._partition = GridPartition(ratings, self.i, self.j)
+        return self._partition
+
+    def _pick_round(self, pending: set[tuple[int, int]]) -> list[tuple[int, int]]:
+        """Randomly select up to ``n_devices`` pairwise-independent blocks."""
+        chosen: list[tuple[int, int]] = []
+        used_rows: set[int] = set()
+        used_cols: set[int] = set()
+        order = list(pending)
+        self._rng.shuffle(order)
+        for blk in order:
+            if len(chosen) == self.n_devices:
+                break
+            if blk[0] not in used_rows and blk[1] not in used_cols:
+                chosen.append(blk)
+                used_rows.add(blk[0])
+                used_cols.add(blk[1])
+        return chosen
+
+    def _device_pass(
+        self,
+        model: FactorModel,
+        ratings: RatingMatrix,
+        idx: np.ndarray,
+        lr: float,
+        lam_p: float,
+        lam_q: float,
+    ) -> int:
+        """Single-device batch-Hogwild! pass over one block's samples."""
+        if not len(idx):
+            return 0
+        idx = idx[self._rng.permutation(len(idx))]
+        rows, cols, vals = ratings.rows, ratings.cols, ratings.vals
+        for lo in range(0, len(idx), self.workers):
+            wave = idx[lo : lo + self.workers]
+            sgd_wave_update(
+                model.p, model.q, rows[wave], cols[wave], vals[wave], lr, lam_p, lam_q
+            )
+        return len(idx)
+
+    # ------------------------------------------------------------------
+    def run_epoch(
+        self,
+        model: FactorModel,
+        ratings: RatingMatrix,
+        lr: float,
+        lam_p: float,
+        lam_q: float | None = None,
+    ) -> int:
+        """One epoch: every block of the grid is updated exactly once."""
+        lam_q = lam_p if lam_q is None else lam_q
+        part = self.partition_for(ratings)
+        feature_bytes = 2 if model.half_precision else 4
+        pending = {(bi, bj) for bi in range(part.i) for bj in range(part.j)}
+        updates = 0
+        while pending:
+            round_blocks = self._pick_round(pending)
+            if not round_blocks:
+                raise RuntimeError("no independent block available — scheduling bug")
+            self.ledger.rounds += 1
+            for bi, bj in round_blocks:
+                view = part.block(bi, bj)
+                self.ledger.charge_dispatch(view, model.k, feature_bytes)
+                updates += self._device_pass(
+                    model, ratings, view.sample_index, lr, lam_p, lam_q
+                )
+                pending.discard((bi, bj))
+        return updates

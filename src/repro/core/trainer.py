@@ -1,0 +1,255 @@
+"""Public training API: the ``CuMFSGD`` estimator.
+
+Ties together model initialization (Algorithm 1 line 3), a scheduling scheme
+(§5), the Eq. 9 learning-rate schedule, optional half-precision storage
+(§4), and optional multi-device partitioning (§6), with per-epoch test-RMSE
+tracking — the measurement every RMSE-vs-time figure in the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.convergence import check_parallelism
+from repro.core.hogwild import BatchHogwild
+from repro.core.lr_schedule import (
+    AdaGradSchedule,
+    LearningRateSchedule,
+    NomadSchedule,
+)
+from repro.core.model import FactorModel
+from repro.core.multi_gpu import MultiDeviceSGD
+from repro.core.wavefront import WavefrontScheduler
+from repro.data.container import RatingMatrix
+from repro.metrics.rmse import rmse
+
+__all__ = ["CuMFSGD", "TrainHistory"]
+
+SCHEMES = ("batch_hogwild", "wavefront", "multi_device")
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch record of one training run."""
+
+    epochs: list[int] = field(default_factory=list)
+    train_rmse: list[float] = field(default_factory=list)
+    test_rmse: list[float] = field(default_factory=list)
+    learning_rates: list[float] = field(default_factory=list)
+    updates: list[int] = field(default_factory=list)
+
+    def record(
+        self,
+        epoch: int,
+        lr: float,
+        n_updates: int,
+        train: float | None,
+        test: float | None,
+    ) -> None:
+        self.epochs.append(epoch)
+        self.learning_rates.append(lr)
+        self.updates.append(n_updates)
+        if train is not None:
+            self.train_rmse.append(train)
+        if test is not None:
+            self.test_rmse.append(test)
+
+    @property
+    def final_test_rmse(self) -> float:
+        if not self.test_rmse:
+            raise ValueError("no test RMSE was recorded")
+        return self.test_rmse[-1]
+
+    @property
+    def best_test_rmse(self) -> float:
+        if not self.test_rmse:
+            raise ValueError("no test RMSE was recorded")
+        return min(self.test_rmse)
+
+    def epochs_to_target(self, target: float) -> int | None:
+        """First epoch (1-based) whose test RMSE <= target, else None.
+
+        This is the quantity Table 4 combines with modelled epoch time.
+        """
+        for epoch, value in zip(self.epochs, self.test_rmse):
+            if value <= target:
+                return epoch
+        return None
+
+    @property
+    def total_updates(self) -> int:
+        return int(sum(self.updates))
+
+    @property
+    def diverged(self) -> bool:
+        """Heuristic: RMSE became NaN or grew 5x above its starting point."""
+        if not self.test_rmse:
+            return False
+        arr = np.asarray(self.test_rmse)
+        return bool(np.isnan(arr).any() or arr[-1] > 5 * arr[0] + 1e-12)
+
+
+class CuMFSGD:
+    """SGD-based matrix factorization with cuMF_SGD's scheduling schemes.
+
+    Parameters
+    ----------
+    k:
+        Feature dimension.
+    scheme:
+        ``"batch_hogwild"`` (default, §5.1), ``"wavefront"`` (§5.2), or
+        ``"multi_device"`` (§6).
+    workers:
+        Concurrent parallel workers ``s``.
+    lam:
+        Regularization λ (same for P and Q, as in the paper).
+    schedule:
+        Learning-rate schedule; defaults to Eq. 9 with Table 3's Netflix
+        (α=0.08, β=0.3).
+    half_precision:
+        Store P and Q in fp16 (§4); compute stays fp32.
+    n_devices, grid:
+        Only for ``scheme="multi_device"``: device count and the (i, j)
+        partition grid.
+    warn_unsafe:
+        Raise when the configuration violates the §7.5 safety rule and
+        ``strict_safety`` is set; otherwise the check result is stored on
+        :attr:`safety` for inspection.
+    """
+
+    def __init__(
+        self,
+        k: int = 32,
+        scheme: str = "batch_hogwild",
+        workers: int = 128,
+        lam: float = 0.05,
+        schedule: LearningRateSchedule | None = None,
+        half_precision: bool = False,
+        f: int = 256,
+        col_blocks: int | None = None,
+        n_devices: int = 1,
+        grid: tuple[int, int] = (1, 1),
+        seed: int = 0,
+        scale_factor: float = 1.0,
+        strict_safety: bool = False,
+    ) -> None:
+        if scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self.scheme = scheme
+        self.workers = workers
+        self.lam = lam
+        self.schedule = schedule or NomadSchedule()
+        self.half_precision = half_precision
+        self.f = f
+        self.col_blocks = col_blocks
+        self.n_devices = n_devices
+        self.grid = grid
+        self.seed = seed
+        self.scale_factor = scale_factor
+        self.strict_safety = strict_safety
+        self.model: FactorModel | None = None
+        self.history: TrainHistory | None = None
+        self.safety = None
+
+    # ------------------------------------------------------------------
+    def _make_executor(self):
+        if self.scheme == "batch_hogwild":
+            if isinstance(self.schedule, AdaGradSchedule):
+                from repro.core.adagrad import AdaGradHogwild
+
+                return AdaGradHogwild(
+                    workers=self.workers, f=self.f, seed=self.seed,
+                    schedule=self.schedule,
+                )
+            return BatchHogwild(workers=self.workers, f=self.f, seed=self.seed)
+        if self.scheme == "wavefront":
+            return WavefrontScheduler(
+                workers=self.workers, col_blocks=self.col_blocks, seed=self.seed
+            )
+        return MultiDeviceSGD(
+            n_devices=self.n_devices,
+            i=self.grid[0],
+            j=self.grid[1],
+            workers=self.workers,
+            seed=self.seed,
+        )
+
+    def _check_safety(self, ratings: RatingMatrix) -> None:
+        i, j = self.grid if self.scheme == "multi_device" else (1, 1)
+        self.safety = check_parallelism(
+            self.workers, ratings.n_rows, ratings.n_cols, i, j
+        )
+        if self.strict_safety and not self.safety.safe:
+            raise ValueError(f"unsafe parallelism: {self.safety}")
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        train: RatingMatrix,
+        epochs: int = 20,
+        test: RatingMatrix | None = None,
+        target_rmse: float | None = None,
+        eval_train: bool = False,
+        warm_start: bool = False,
+        verbose: bool = False,
+    ) -> TrainHistory:
+        """Train for up to ``epochs`` full passes.
+
+        Stops early when ``target_rmse`` is reached on the test set. Returns
+        (and stores) the :class:`TrainHistory`.
+        """
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        if target_rmse is not None and test is None:
+            raise ValueError("target_rmse requires a test set")
+        self._check_safety(train)
+        if self.model is None or not warm_start:
+            self.model = FactorModel.initialize(
+                train.n_rows,
+                train.n_cols,
+                self.k,
+                seed=self.seed,
+                scale_factor=self.scale_factor,
+                half_precision=self.half_precision,
+            )
+        executor = self._make_executor()
+        history = TrainHistory()
+        for epoch in range(epochs):
+            lr = self.schedule(epoch)
+            n_updates = executor.run_epoch(
+                self.model, train, lr, self.lam
+            )
+            p, q = self.model.as_float32()
+            tr = rmse(p, q, train) if eval_train else None
+            te = rmse(p, q, test) if test is not None else None
+            history.record(epoch + 1, lr, n_updates, tr, te)
+            if verbose:  # pragma: no cover - console output
+                parts = [f"epoch {epoch + 1:3d}", f"lr {lr:.5f}"]
+                if tr is not None:
+                    parts.append(f"train {tr:.4f}")
+                if te is not None:
+                    parts.append(f"test {te:.4f}")
+                print("  ".join(parts))
+            if target_rmse is not None and te is not None and te <= target_rmse:
+                break
+        self.history = history
+        return history
+
+    # ------------------------------------------------------------------
+    def predict(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Predicted ratings for (u, v) pairs after :meth:`fit`."""
+        if self.model is None:
+            raise RuntimeError("fit() the model before predicting")
+        return self.model.predict(np.asarray(rows), np.asarray(cols))
+
+    def score(self, ratings: RatingMatrix) -> float:
+        """Test RMSE on a rating set."""
+        if self.model is None:
+            raise RuntimeError("fit() the model before scoring")
+        p, q = self.model.as_float32()
+        return rmse(p, q, ratings)

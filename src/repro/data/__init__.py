@@ -1,0 +1,51 @@
+"""Data substrate: sparse rating containers, synthetic data set generators,
+train/test splitting, and the pre-/post-processing shuffles of Algorithm 1.
+
+The paper evaluates on Netflix, Yahoo!Music, and Hugewiki (Table 2). Those
+data sets are not redistributable, so :mod:`repro.data.synthetic` generates
+low-rank-plus-noise problems with the same aspect ratios at laptop scale,
+and :data:`repro.data.synthetic.PAPER_DATASETS` retains the paper-scale shape
+parameters for the performance model.
+"""
+
+from repro.data.container import RatingMatrix
+from repro.data.io import load_coo, save_coo
+from repro.data.preprocess import (
+    BiasModel,
+    ScaleNormalizer,
+    compact_ids,
+    filter_min_counts,
+    remove_biases,
+)
+from repro.data.shuffle import model_shuffle, random_shuffle
+from repro.data.split import train_test_split
+from repro.data.synthetic import (
+    PAPER_DATASETS,
+    SCALED_DATASETS,
+    DatasetSpec,
+    SyntheticProblem,
+    dataset_registry,
+    make_synthetic,
+    scaled_dataset,
+)
+
+__all__ = [
+    "RatingMatrix",
+    "load_coo",
+    "save_coo",
+    "ScaleNormalizer",
+    "BiasModel",
+    "remove_biases",
+    "filter_min_counts",
+    "compact_ids",
+    "random_shuffle",
+    "model_shuffle",
+    "train_test_split",
+    "DatasetSpec",
+    "SyntheticProblem",
+    "PAPER_DATASETS",
+    "SCALED_DATASETS",
+    "dataset_registry",
+    "make_synthetic",
+    "scaled_dataset",
+]

@@ -1,0 +1,65 @@
+"""Binary COO I/O.
+
+CuMF_SGD reads its inputs in a packed binary COO layout (the same 12-byte
+records whose size appears in Eq. 5). We persist the same layout with a small
+NumPy structured dtype plus an ``.npz`` convenience wrapper.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.container import RatingMatrix
+
+__all__ = ["COO_DTYPE", "save_coo", "load_coo", "to_records", "from_records"]
+
+#: Packed 12-byte COO record: (u: int32, v: int32, r: float32).
+COO_DTYPE = np.dtype([("u", "<i4"), ("v", "<i4"), ("r", "<f4")])
+
+
+def to_records(ratings: RatingMatrix) -> np.ndarray:
+    """Pack a :class:`RatingMatrix` into the 12-byte record array."""
+    rec = np.empty(ratings.nnz, dtype=COO_DTYPE)
+    rec["u"] = ratings.rows
+    rec["v"] = ratings.cols
+    rec["r"] = ratings.vals
+    return rec
+
+
+def from_records(
+    rec: np.ndarray, n_rows: int, n_cols: int, name: str = "loaded"
+) -> RatingMatrix:
+    """Unpack a record array produced by :func:`to_records`."""
+    if rec.dtype != COO_DTYPE:
+        raise ValueError(f"expected dtype {COO_DTYPE}, got {rec.dtype}")
+    return RatingMatrix(
+        rows=rec["u"].copy(),
+        cols=rec["v"].copy(),
+        vals=rec["r"].copy(),
+        n_rows=n_rows,
+        n_cols=n_cols,
+        name=name,
+    )
+
+
+def save_coo(path: str | Path, ratings: RatingMatrix) -> None:
+    """Save to ``.npz`` with the record array and the logical shape."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        records=to_records(ratings),
+        shape=np.array(ratings.shape, dtype=np.int64),
+        name=np.array(ratings.name),
+    )
+
+
+def load_coo(path: str | Path) -> RatingMatrix:
+    """Load a matrix saved by :func:`save_coo`."""
+    path = Path(path)
+    with np.load(path if path.suffix == ".npz" else path.with_suffix(".npz")) as z:
+        shape = z["shape"]
+        return from_records(
+            z["records"], int(shape[0]), int(shape[1]), name=str(z["name"])
+        )

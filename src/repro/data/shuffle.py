@@ -1,0 +1,52 @@
+"""Pre- and post-processing shuffles from Algorithm 1.
+
+* ``random_shuffle(R)`` (line 2) randomizes sample order in memory. This is
+  what makes batch-Hogwild! correct: a worker reads ``f`` *consecutive*
+  samples for cache locality, yet their (u, v) coordinates remain random.
+* ``model_shuffle(P, Q)`` (line 15) undoes any row/column permutation applied
+  during training so the saved model lines up with the original ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.container import RatingMatrix
+
+__all__ = ["random_shuffle", "model_shuffle", "make_permutation", "invert_permutation"]
+
+
+def random_shuffle(ratings: RatingMatrix, seed: int = 0) -> RatingMatrix:
+    """Return a copy of ``ratings`` with samples in uniformly random order."""
+    rng = np.random.default_rng(seed)
+    return ratings.shuffled(rng)
+
+
+def make_permutation(size: int, rng: np.random.Generator) -> np.ndarray:
+    """A random permutation of ``range(size)`` as int32."""
+    return rng.permutation(size).astype(np.int32)
+
+
+def invert_permutation(perm: np.ndarray) -> np.ndarray:
+    """Inverse permutation: ``inv[perm[i]] == i``."""
+    perm = np.asarray(perm)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(len(perm), dtype=perm.dtype)
+    return inv
+
+
+def model_shuffle(
+    p: np.ndarray,
+    q: np.ndarray,
+    row_perm: np.ndarray | None = None,
+    col_perm: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Undo training-time row/column permutations on the feature matrices.
+
+    If training relabelled user ``u`` as ``row_perm[u]``, the trained
+    ``P[row_perm[u]]`` must be written back to slot ``u``. Passing ``None``
+    leaves that side untouched.
+    """
+    p_out = p if row_perm is None else p[np.asarray(row_perm)]
+    q_out = q if col_perm is None else q[np.asarray(col_perm)]
+    return p_out, q_out

@@ -1,0 +1,205 @@
+"""Command-line entry point.
+
+Subcommands::
+
+    cumf-sgd list                         # registered paper artifacts
+    cumf-sgd run fig9 [--full] [--csv F]  # reproduce one table/figure
+    cumf-sgd all [--full] [--outdir D]    # reproduce everything
+    cumf-sgd train netflix-syn --epochs 20 --scheme wavefront
+    cumf-sgd plan hugewiki --gpu pascal --devices 2
+    cumf-sgd throughput --gpu maxwell --workers 768
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import REGISTRY, run_experiment
+
+__all__ = ["main"]
+
+_GPU_CHOICES = ("maxwell", "pascal")
+
+
+def _gpu_spec(name: str):
+    from repro.gpusim.specs import MAXWELL_TITAN_X, PASCAL_P100
+
+    return {"maxwell": MAXWELL_TITAN_X, "pascal": PASCAL_P100}[name]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cumf-sgd",
+        description="Reproduce CuMF_SGD (HPDC'17): experiments, training, planning.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list registered experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", choices=sorted(REGISTRY))
+    run_p.add_argument("--full", action="store_true", help="full-scale numeric runs")
+    run_p.add_argument("--csv", type=Path, help="also write rows as CSV")
+
+    all_p = sub.add_parser("all", help="run every experiment")
+    all_p.add_argument("--full", action="store_true")
+    all_p.add_argument("--outdir", type=Path, help="write per-experiment .txt files")
+
+    train_p = sub.add_parser("train", help="train on a registered synthetic data set")
+    train_p.add_argument("dataset", help="scaled data set name (e.g. netflix-syn)")
+    train_p.add_argument("--scheme", default="batch_hogwild",
+                         choices=("batch_hogwild", "wavefront", "multi_device"))
+    train_p.add_argument("--epochs", type=int, default=20)
+    train_p.add_argument("--workers", type=int, default=64)
+    train_p.add_argument("--k", type=int, default=None)
+    train_p.add_argument("--lam", type=float, default=None)
+    train_p.add_argument("--half", action="store_true", help="fp16 feature storage")
+    train_p.add_argument("--seed", type=int, default=0)
+    train_p.add_argument("--save", type=Path, help="checkpoint path for the model")
+
+    plan_p = sub.add_parser("plan", help="plan a training configuration (§6.1 + §7.5)")
+    plan_p.add_argument("dataset", help="paper-scale data set (netflix/yahoo/hugewiki)")
+    plan_p.add_argument("--gpu", choices=_GPU_CHOICES, default="maxwell")
+    plan_p.add_argument("--devices", type=int, default=1)
+    plan_p.add_argument("--fp32", action="store_true", help="plan for fp32 features")
+
+    thr_p = sub.add_parser("throughput", help="modelled updates/s for a configuration")
+    thr_p.add_argument("--gpu", choices=_GPU_CHOICES, default="maxwell")
+    thr_p.add_argument("--dataset", default="netflix")
+    thr_p.add_argument("--workers", type=int, default=None)
+    thr_p.add_argument("--scheme", default="batch_hogwild",
+                       choices=("batch_hogwild", "wavefront", "libmf_gpu"))
+    thr_p.add_argument("--fp32", action="store_true")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    result = run_experiment(args.experiment, quick=not args.full)
+    print(result.to_text())
+    if args.csv:
+        args.csv.write_text(result.to_csv())
+    return 0 if result.all_checks_pass else 1
+
+
+def _cmd_all(args) -> int:
+    failed: list[str] = []
+    for exp_id in sorted(REGISTRY):
+        start = time.perf_counter()
+        result = run_experiment(exp_id, quick=not args.full)
+        elapsed = time.perf_counter() - start
+        print(result.to_text())
+        print(f"({elapsed:.1f}s)\n")
+        if args.outdir:
+            args.outdir.mkdir(parents=True, exist_ok=True)
+            (args.outdir / f"{exp_id}.txt").write_text(result.to_text() + "\n")
+        if not result.all_checks_pass:
+            failed.append(exp_id)
+    if failed:
+        print(f"FAILED shape checks in: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("all shape checks passed")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.core.checkpoint import save_model
+    from repro.core.lr_schedule import NomadSchedule
+    from repro.core.trainer import CuMFSGD
+    from repro.data.synthetic import SCALED_DATASETS, make_synthetic
+
+    if args.dataset not in SCALED_DATASETS:
+        print(f"unknown data set {args.dataset!r}; choose from "
+              f"{sorted(SCALED_DATASETS)}", file=sys.stderr)
+        return 2
+    spec = SCALED_DATASETS[args.dataset]
+    problem = make_synthetic(spec, seed=args.seed)
+    est = CuMFSGD(
+        k=args.k or spec.k,
+        scheme=args.scheme,
+        workers=args.workers,
+        lam=args.lam if args.lam is not None else spec.lam,
+        schedule=NomadSchedule(alpha=spec.alpha, beta=spec.beta),
+        half_precision=args.half,
+        n_devices=2 if args.scheme == "multi_device" else 1,
+        grid=(4, 4) if args.scheme == "multi_device" else (1, 1),
+        seed=args.seed,
+    )
+    start = time.perf_counter()
+    history = est.fit(problem.train, epochs=args.epochs, test=problem.test,
+                      verbose=True)
+    elapsed = time.perf_counter() - start
+    rate = history.total_updates / elapsed / 1e6
+    print(f"\nfinal test RMSE {history.final_test_rmse:.4f} "
+          f"(noise floor {problem.rmse_floor:.2f}) in {elapsed:.1f}s "
+          f"({rate:.1f} M host-updates/s)")
+    print(f"parallelism: {est.safety}")
+    if args.save:
+        from_path = save_model(args.save, est.model, epoch=len(history.epochs),
+                               metadata={"dataset": args.dataset})
+        print(f"checkpoint written to {from_path}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.data.synthetic import PAPER_DATASETS
+    from repro.gpusim.planner import plan_training
+
+    if args.dataset not in PAPER_DATASETS:
+        print(f"unknown data set {args.dataset!r}; choose from "
+              f"{sorted(PAPER_DATASETS)}", file=sys.stderr)
+        return 2
+    try:
+        plan = plan_training(
+            PAPER_DATASETS[args.dataset],
+            _gpu_spec(args.gpu),
+            n_devices=args.devices,
+            half_precision=not args.fp32,
+        )
+    except ValueError as exc:
+        print(f"no feasible plan: {exc}", file=sys.stderr)
+        return 1
+    print(plan)
+    return 0
+
+
+def _cmd_throughput(args) -> int:
+    from repro.data.synthetic import PAPER_DATASETS
+    from repro.gpusim.simulator import cumf_throughput
+
+    if args.dataset not in PAPER_DATASETS:
+        print(f"unknown data set {args.dataset!r}", file=sys.stderr)
+        return 2
+    point = cumf_throughput(
+        _gpu_spec(args.gpu),
+        PAPER_DATASETS[args.dataset],
+        workers=args.workers,
+        scheme=args.scheme,
+        half_precision=not args.fp32,
+    )
+    print(f"{point.solver} on {point.device}, {point.dataset}, "
+          f"{point.workers} workers: {point.mupdates:.0f} M updates/s, "
+          f"{point.effective_bandwidth_gbs:.0f} GB/s effective")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatch; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for exp_id in sorted(REGISTRY):
+            doc = (REGISTRY[exp_id].__doc__ or "").strip().splitlines()
+            print(f"{exp_id:10s} {doc[0] if doc else ''}")
+        return 0
+    return {
+        "run": _cmd_run,
+        "all": _cmd_all,
+        "train": _cmd_train,
+        "plan": _cmd_plan,
+        "throughput": _cmd_throughput,
+    }[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

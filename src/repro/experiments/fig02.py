@@ -1,0 +1,61 @@
+"""Figure 2 — the §2.3 motivation.
+
+(a) LIBMF's effective memory bandwidth drops on large data sets (paper:
+    194 GB/s on Netflix → 106 GB/s on Hugewiki, a 45% drop).
+(b) NOMAD's memory efficiency (effective bandwidth / total DRAM bandwidth)
+    collapses when scaling from 1 to 32 nodes.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.nomad import nomad_memory_efficiency
+from repro.data.synthetic import PAPER_DATASETS
+from repro.experiments.base import ExperimentResult, register
+from repro.gpusim.simulator import libmf_cpu_throughput
+from repro.gpusim.specs import XEON_E5_2670_DUAL
+
+__all__ = ["run"]
+
+
+@register("fig2")
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig2",
+        title="LIBMF effective bandwidth vs data size; NOMAD memory efficiency vs nodes",
+        headers=("panel", "x", "value", "unit"),
+    )
+
+    # (a) LIBMF effective bandwidth per data set (modelled, paper-scale)
+    bw = {}
+    for name in ("netflix", "yahoo", "hugewiki"):
+        point = libmf_cpu_throughput(XEON_E5_2670_DUAL, PAPER_DATASETS[name])
+        bw[name] = point.effective_bandwidth_gbs
+        result.add("a:libmf-bandwidth", name, round(point.effective_bandwidth_gbs, 1), "GB/s")
+
+    # (b) NOMAD memory efficiency on Netflix, 1..32 nodes
+    effs = {}
+    for nodes in (1, 2, 4, 8, 16, 32):
+        eff = nomad_memory_efficiency(PAPER_DATASETS["netflix"], nodes)
+        effs[nodes] = eff
+        result.add("b:nomad-efficiency", nodes, round(eff, 4), "fraction")
+
+    result.notes.append(
+        "paper (a): 194 GB/s on Netflix dropping 45% to 106 GB/s on Hugewiki"
+    )
+    result.notes.append("paper (b): efficiency of the distributed solution is 'extremely low'")
+    result.check("Netflix bandwidth exceeds Hugewiki bandwidth", bw["netflix"] > bw["hugewiki"])
+    result.check(
+        "Hugewiki bandwidth at least 25% below Netflix",
+        bw["hugewiki"] < 0.75 * bw["netflix"],
+    )
+    result.check("NOMAD efficiency decreases monotonically past 8 nodes",
+                 effs[8] >= effs[16] >= effs[32])
+    result.check("NOMAD 32-node efficiency below half of its peak",
+                 effs[32] < 0.5 * max(effs.values()))
+    result.check("NOMAD 32-node efficiency below 15%", effs[32] < 0.15)
+    result.notes.append(
+        "model: efficiency first rises with nodes (per-node working set "
+        "shrinks into L3 — NOMAD's stated design goal) then collapses as the "
+        "network binds; the paper's 'extremely low' endpoint is reproduced"
+    )
+    return result

@@ -1,0 +1,60 @@
+"""Figure 10 — achieved #Updates/s and memory bandwidth per solver.
+
+(a) cuMF_SGD-M/-P perform 2.5-7x more updates/s than LIBMF on every data
+    set; (b) LIBMF's effective bandwidth collapses on Hugewiki while
+    cuMF_SGD's stays flat across data sets (the GPU does not depend on a
+    cache whose capacity the working set outgrows).
+"""
+
+from __future__ import annotations
+
+from repro.data.synthetic import PAPER_DATASETS
+from repro.experiments.base import ExperimentResult, register
+from repro.gpusim.simulator import cumf_throughput, libmf_cpu_throughput
+from repro.gpusim.specs import MAXWELL_TITAN_X, PASCAL_P100, XEON_E5_2670_DUAL
+
+__all__ = ["run"]
+
+
+@register("fig10")
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig10",
+        title="Updates/s and effective bandwidth: LIBMF vs cuMF_SGD-M vs cuMF_SGD-P",
+        headers=("dataset", "solver", "Mupdates/s", "effective_GB/s"),
+    )
+    points: dict[tuple[str, str], tuple[float, float]] = {}
+    for name in ("netflix", "yahoo", "hugewiki"):
+        spec = PAPER_DATASETS[name]
+        for solver, point in (
+            ("LIBMF", libmf_cpu_throughput(XEON_E5_2670_DUAL, spec)),
+            ("cuMF_SGD-M", cumf_throughput(MAXWELL_TITAN_X, spec)),
+            ("cuMF_SGD-P", cumf_throughput(PASCAL_P100, spec)),
+        ):
+            points[(name, solver)] = (point.mupdates, point.effective_bandwidth_gbs)
+            result.add(name, solver, round(point.mupdates, 0), round(point.effective_bandwidth_gbs, 0))
+
+    # ---- shape checks ------------------------------------------------
+    for name in ("netflix", "yahoo", "hugewiki"):
+        result.check(
+            f"{name}: cuMF-M > 2x LIBMF updates/s",
+            points[(name, "cuMF_SGD-M")][0] > 2 * points[(name, "LIBMF")][0],
+        )
+        result.check(
+            f"{name}: cuMF-P > cuMF-M",
+            points[(name, "cuMF_SGD-P")][0] > points[(name, "cuMF_SGD-M")][0],
+        )
+    cumf_bws = [points[(n, "cuMF_SGD-M")][1] for n in ("netflix", "yahoo", "hugewiki")]
+    result.check(
+        "cuMF bandwidth flat across data sets (<5% spread)",
+        max(cumf_bws) - min(cumf_bws) < 0.05 * max(cumf_bws),
+    )
+    result.check(
+        "LIBMF bandwidth drops from Netflix to Hugewiki",
+        points[("hugewiki", "LIBMF")][1] < points[("netflix", "LIBMF")][1],
+    )
+    result.notes.append(
+        "paper: LIBMF 194->106 GB/s (Netflix->Hugewiki); cuMF-M ~266 GB/s on all; "
+        "cuMF-M 267M, cuMF-P 613M updates/s on Netflix"
+    )
+    return result

@@ -1,0 +1,45 @@
+"""Figure 11 — Maxwell vs Pascal: updates/s and bandwidth vs worker count.
+
+Pascal scales to 2.3x the parallel workers (1792 vs 768 resident blocks)
+and about doubles the achieved bandwidth (the paper measures up to 266 GB/s
+on Maxwell and 567 GB/s on Pascal with the Netflix data set).
+"""
+
+from __future__ import annotations
+
+from repro.data.synthetic import PAPER_DATASETS
+from repro.experiments.base import ExperimentResult, register
+from repro.gpusim.occupancy import max_parallel_workers
+from repro.gpusim.simulator import cumf_throughput
+from repro.gpusim.specs import MAXWELL_TITAN_X, PASCAL_P100
+
+__all__ = ["run"]
+
+
+@register("fig11")
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig11",
+        title="Updates/s and achieved bandwidth vs workers, Maxwell vs Pascal",
+        headers=("gpu", "workers", "Mupdates/s", "effective_GB/s"),
+    )
+    netflix = PAPER_DATASETS["netflix"]
+    peaks: dict[str, tuple[float, float]] = {}
+    for spec in (MAXWELL_TITAN_X, PASCAL_P100):
+        cap = max_parallel_workers(spec)
+        for frac in (0.125, 0.25, 0.5, 0.75, 1.0):
+            w = max(1, int(cap * frac))
+            point = cumf_throughput(spec, netflix, workers=w)
+            result.add(spec.name, w, round(point.mupdates, 0), round(point.effective_bandwidth_gbs, 0))
+            if frac == 1.0:
+                peaks[spec.name] = (point.mupdates, point.effective_bandwidth_gbs)
+
+    m_rate, m_bw = peaks[MAXWELL_TITAN_X.name]
+    p_rate, p_bw = peaks[PASCAL_P100.name]
+    result.check("Pascal supports 2.3x the workers",
+                 abs(max_parallel_workers(PASCAL_P100) / max_parallel_workers(MAXWELL_TITAN_X) - 7 / 3) < 0.01)
+    result.check("Pascal peak updates/s ~2-2.6x Maxwell", 2.0 <= p_rate / m_rate <= 2.6)
+    result.check("Maxwell bandwidth in 230-300 GB/s (paper: up to 266)", 230 <= m_bw <= 300)
+    result.check("Pascal bandwidth in 500-650 GB/s (paper: up to 567)", 500 <= p_bw <= 650)
+    result.notes.append("paper: 768 vs 1792 workers; 266 vs 567 GB/s achieved")
+    return result

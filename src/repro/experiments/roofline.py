@@ -1,0 +1,58 @@
+"""Eq. 4-5 / §2.3 — the workload characterization that motivates the paper.
+
+Flops/Byte of one SGD update vs the machine balance of each platform: at
+k = 128 with fp32 the intensity is ≈ 0.43 flops/byte against balances of
+~10 (CPU) and ~20+ (GPU), so SGD-based MF is memory-bound everywhere, and
+the right accelerator is the one with the most *bandwidth* — the paper's
+central design argument.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, register
+from repro.gpusim.roofline import machine_balance, roofline_point
+from repro.gpusim.specs import MAXWELL_TITAN_X, PASCAL_P100, XEON_E5_2670_DUAL
+from repro.metrics.flops import flops_byte_ratio
+
+__all__ = ["run"]
+
+
+@register("roofline")
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="roofline",
+        title="Eq.5 Flops/Byte characterization and per-device rooflines",
+        headers=("device", "k", "feature_bytes", "flops_per_byte", "balance", "memory_bound", "bw_bound_Mupd/s"),
+    )
+    intensity_128 = flops_byte_ratio(128)
+    checked = []
+    for device in (XEON_E5_2670_DUAL, MAXWELL_TITAN_X, PASCAL_P100):
+        for fb in (4, 2):
+            pt = roofline_point(device, k=128, feature_bytes=fb)
+            balance = machine_balance(pt.peak_gflops, pt.bandwidth_gbs)
+            checked.append(pt)
+            result.add(
+                pt.device, 128, fb, round(pt.intensity, 3), round(balance, 1),
+                pt.memory_bound, round(pt.bandwidth_bound_updates_per_sec / 1e6, 0),
+            )
+    # k sweep at fp32 on Maxwell
+    for k in (16, 32, 64, 128, 256):
+        pt = roofline_point(MAXWELL_TITAN_X, k=k)
+        result.add(pt.device, k, 4, round(pt.intensity, 3), round(
+            machine_balance(pt.peak_gflops, pt.bandwidth_gbs), 1), pt.memory_bound,
+            round(pt.bandwidth_bound_updates_per_sec / 1e6, 0))
+
+    result.check("Eq.5 value at k=128 fp32 is ~0.43 flops/byte",
+                 abs(intensity_128 - 0.43) < 0.02)
+    result.check("SGD-MF is memory-bound on every platform and precision",
+                 all(pt.memory_bound for pt in checked))
+    result.check(
+        "half precision roughly doubles the bandwidth-bound update rate",
+        1.8
+        <= roofline_point(MAXWELL_TITAN_X, feature_bytes=2).bandwidth_bound_updates_per_sec
+        / roofline_point(MAXWELL_TITAN_X, feature_bytes=4).bandwidth_bound_updates_per_sec
+        <= 2.1,
+    )
+    result.notes.append("paper: 'for k = 128 ... the Flops/Byte is 0.43 ops/byte'")
+    result.notes.append("paper: CPU balance ~10 (600 GFLOPS / 60 GB/s)")
+    return result

@@ -1,0 +1,76 @@
+"""GPU/CPU performance-model substrate.
+
+This package replaces the paper's Maxwell TITAN X / Pascal P100 testbeds,
+which are unavailable here. Every throughput claim in the paper is a
+bandwidth/roofline argument: SGD-based MF moves ~2 KB per update and does
+~900 flops (Eq. 5), so performance is *effective memory bandwidth divided by
+bytes-per-update*, corrected for scheduler overhead and occupancy. The model
+implements exactly that argument with the paper's published hardware
+parameters (Table 1), so it reproduces the paper's throughput figures
+(5b, 7a, 10, 11), tables (4, 5), and the staging analysis of §6.
+
+Calibration constants are documented at their definition sites; each has a
+physical interpretation (DRAM achieved fraction, critical-section cell-scan
+cost, atomic latency) and is shared across all experiments — nothing is
+fitted per figure.
+"""
+
+from repro.gpusim.specs import (
+    CPUSpec,
+    ClusterSpec,
+    GPUSpec,
+    InterconnectSpec,
+    MAXWELL_TITAN_X,
+    NOMAD_HPC_CLUSTER,
+    NVLINK,
+    PASCAL_P100,
+    PCIE3_X16,
+    XEON_E5_2670_DUAL,
+)
+from repro.gpusim.roofline import RooflinePoint, attainable_flops, roofline_point
+from repro.gpusim.memory import CacheModel, libmf_dram_bytes_per_update
+from repro.gpusim.occupancy import max_parallel_workers, occupancy_fraction
+from repro.gpusim.contention import (
+    ContentionModel,
+    scheduler_throughput,
+)
+from repro.gpusim.interconnect import TransferModel
+from repro.gpusim.streams import StagedBlock, StreamPipeline, simulate_epoch_staging
+from repro.gpusim.simulator import (
+    PerfPoint,
+    cumf_throughput,
+    epoch_seconds,
+    libmf_cpu_throughput,
+    scaling_curve,
+)
+
+__all__ = [
+    "GPUSpec",
+    "CPUSpec",
+    "ClusterSpec",
+    "InterconnectSpec",
+    "MAXWELL_TITAN_X",
+    "PASCAL_P100",
+    "XEON_E5_2670_DUAL",
+    "NOMAD_HPC_CLUSTER",
+    "PCIE3_X16",
+    "NVLINK",
+    "RooflinePoint",
+    "roofline_point",
+    "attainable_flops",
+    "CacheModel",
+    "libmf_dram_bytes_per_update",
+    "max_parallel_workers",
+    "occupancy_fraction",
+    "ContentionModel",
+    "scheduler_throughput",
+    "TransferModel",
+    "StagedBlock",
+    "StreamPipeline",
+    "simulate_epoch_staging",
+    "PerfPoint",
+    "cumf_throughput",
+    "libmf_cpu_throughput",
+    "epoch_seconds",
+    "scaling_curve",
+]

@@ -1,0 +1,77 @@
+"""Scheduler-contention model — the mechanism behind Fig. 5b.
+
+LIBMF grants blocks out of a global table inside a critical section. Model
+it as a closed queueing system: each of ``w`` workers cycles through
+
+    [critical section: t_cs]  →  [process one block: t_block]
+
+where the critical section is serialized across workers. Standard closed
+M/D/1-style bounds give aggregate grant rate::
+
+    grants/s = min( w / (t_cs + t_block),  1 / t_cs )
+
+and updates/s = grants/s x updates_per_block. The first term is the
+linear-scaling regime; the second is the serialization ceiling whose knee is
+at ``w* = (t_cs + t_block) / t_cs`` — calibrated constants put w* ≈ 30 for
+CPU LIBMF (matching the paper's "saturates around 30 threads") and ≈ 240 for
+the O(a) GPU port ("scales to only 240 thread blocks").
+
+Wavefront and batch-Hogwild! have no global critical section: their per-block
+overhead (one column-lock CAS, or nothing) is charged to t_block instead, so
+they scale to the occupancy limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ContentionModel", "scheduler_throughput"]
+
+
+@dataclass(frozen=True)
+class ContentionModel:
+    """One scheduling policy's cost structure."""
+
+    name: str
+    #: critical-section time per grant (seconds); 0 = lock-free
+    t_critical: float
+    #: per-block overhead outside the critical section (e.g. column-lock CAS)
+    t_block_overhead: float = 0.0
+
+    def saturation_workers(self, t_block: float) -> float:
+        """Worker count ``w*`` where the serialization ceiling binds."""
+        if self.t_critical <= 0:
+            return float("inf")
+        return (self.t_critical + t_block + self.t_block_overhead) / self.t_critical
+
+
+def scheduler_throughput(
+    model: ContentionModel,
+    workers: int,
+    updates_per_block: float,
+    update_seconds: float,
+    bandwidth_updates_cap: float = float("inf"),
+) -> float:
+    """Aggregate updates/s under a scheduling policy.
+
+    Parameters
+    ----------
+    updates_per_block:
+        SGD updates granted per scheduler interaction (block nnz; for
+        batch-Hogwild! the chunk size ``f``).
+    update_seconds:
+        Per-worker time to execute one update (latency-bound regime).
+    bandwidth_updates_cap:
+        Device-wide memory-bandwidth roof in updates/s; the final throughput
+        is also clipped by it.
+    """
+    if workers <= 0:
+        raise ValueError(f"workers must be positive, got {workers}")
+    if updates_per_block <= 0 or update_seconds <= 0:
+        raise ValueError("updates_per_block and update_seconds must be positive")
+    t_block = updates_per_block * update_seconds + model.t_block_overhead
+    cycle = t_block + model.t_critical
+    grant_rate = workers / cycle
+    if model.t_critical > 0:
+        grant_rate = min(grant_rate, 1.0 / model.t_critical)
+    return min(grant_rate * updates_per_block, bandwidth_updates_cap)

@@ -1,0 +1,60 @@
+"""Cost-efficiency model (§7.2: "not only faster ... also more cost-efficient").
+
+The paper's comparison pits one GPU card against a 64-node HPC cluster and a
+dual-socket server. This module attaches hardware cost rates to each
+platform so time-to-converge can be converted into a cost-to-converge — the
+"Faster and Cheaper" argument of the cuMF line of work.
+
+Rates are amortized acquisition cost per hour (3-year straight-line, 2017
+list prices) plus a power/hosting adder; they are deliberately coarse —
+the claim being checked is an order-of-magnitude one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PlatformCost", "PLATFORM_COSTS", "cost_to_converge"]
+
+
+@dataclass(frozen=True)
+class PlatformCost:
+    """Hourly cost of one execution platform."""
+
+    name: str
+    #: amortized hardware $/hour
+    hardware_per_hour: float
+    #: power + hosting $/hour
+    overhead_per_hour: float
+
+    @property
+    def per_hour(self) -> float:
+        return self.hardware_per_hour + self.overhead_per_hour
+
+    def cost(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError(f"seconds must be non-negative, got {seconds}")
+        return self.per_hour * seconds / 3600.0
+
+
+#: 2017-era coarse rates. A TITAN X card was ~$1k, a P100 ~$6k (plus host
+#: share), a dual-Xeon server ~$8k, and a 64-node InfiniBand cluster with
+#: 4-core nodes ~$300k+ — each amortized over 3 years (~26k hours).
+PLATFORM_COSTS: dict[str, PlatformCost] = {
+    "maxwell-gpu": PlatformCost("1x TITAN X + host share", 0.12, 0.05),
+    "pascal-gpu": PlatformCost("1x P100 + host share", 0.35, 0.06),
+    "cpu-server": PlatformCost("2x Xeon E5-2670 server", 0.30, 0.08),
+    "hpc-cluster-32": PlatformCost("32-node HPC cluster", 4.80, 1.60),
+    "hpc-cluster-64": PlatformCost("64-node HPC cluster", 9.60, 3.20),
+}
+
+
+def cost_to_converge(platform: str, seconds: float) -> float:
+    """Dollars to run ``seconds`` of training on a named platform."""
+    try:
+        rate = PLATFORM_COSTS[platform]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {platform!r}; choose from {sorted(PLATFORM_COSTS)}"
+        ) from None
+    return rate.cost(seconds)

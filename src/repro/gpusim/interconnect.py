@@ -1,0 +1,53 @@
+"""CPU-GPU transfer model (§6.2).
+
+Charges the *measured* link bandwidths the paper reports (5.5 GB/s on PCIe
+3.0 x16, 29.1 GB/s on NVLink) to block staging: a dispatched block moves its
+COO samples plus the touched P/Q segments host-to-device, and the segments
+(only) device-to-host afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.partition import BlockView
+from repro.gpusim.specs import InterconnectSpec
+
+__all__ = ["TransferModel"]
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Byte accounting + timing for staging blocks over a link."""
+
+    link: InterconnectSpec
+    k: int
+    feature_bytes: int = 2  # cuMF_SGD stages fp16 features (§4)
+
+    def h2d_bytes(self, block: BlockView) -> int:
+        """Host-to-device: samples + both feature segments."""
+        return block.coo_bytes() + block.feature_bytes(self.k, self.feature_bytes)
+
+    def d2h_bytes(self, block: BlockView) -> int:
+        """Device-to-host: feature segments only (samples are read-only)."""
+        return block.feature_bytes(self.k, self.feature_bytes)
+
+    def h2d_seconds(self, block: BlockView) -> float:
+        return self.link.transfer_seconds(self.h2d_bytes(block))
+
+    def d2h_seconds(self, block: BlockView) -> float:
+        return self.link.transfer_seconds(self.d2h_bytes(block))
+
+    def round_trip_seconds(self, block: BlockView) -> float:
+        """Unoverlapped staging cost of one block."""
+        return self.h2d_seconds(block) + self.d2h_seconds(block)
+
+    # ------------------------------------------------------------------
+    def shape_h2d_seconds(self, nnz: int, rows: int, cols: int) -> float:
+        """H2D time for a block described by shape rather than a view."""
+        nbytes = nnz * 12 + (rows + cols) * self.k * self.feature_bytes
+        return self.link.transfer_seconds(nbytes)
+
+    def shape_d2h_seconds(self, rows: int, cols: int) -> float:
+        nbytes = (rows + cols) * self.k * self.feature_bytes
+        return self.link.transfer_seconds(nbytes)

@@ -1,0 +1,119 @@
+"""Multi-node multi-GPU extension — the paper's first future-work item.
+
+§9: "In future, we plan to extend cuMF_SGD to multiple nodes." This module
+extends the performance model to a cluster of GPU nodes: within a node,
+GPUs pull independent blocks over PCIe/NVLink exactly as in §6; across
+nodes, the feature segments a node hands back must traverse the cluster
+network before another node may claim a conflicting block.
+
+The model exposes the trade-off the paper's single-node analysis implies:
+because the §7.5 safety rule caps total parallel workers at
+``min(m/i, n/j)/20``, adding nodes only helps while the data set's *shape*
+has parallelism to give — Hugewiki (n ≈ 40k) saturates almost immediately,
+while Yahoo!Music (625k columns) keeps scaling. The reproduction's
+conclusion matches the paper's decision to stop at one node for two of the
+three workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.convergence import hogwild_safety_bound
+from repro.data.synthetic import DatasetSpec
+from repro.gpusim.simulator import cumf_throughput, dataset_fits_gpu
+from repro.gpusim.specs import GPUSpec
+
+__all__ = ["NodeSpec", "multinode_epoch_seconds", "multinode_scaling_curve"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One GPU node of the modelled cluster."""
+
+    gpu: GPUSpec
+    gpus_per_node: int = 2
+    #: inter-node network bandwidth actually achieved per node (GB/s);
+    #: EDR InfiniBand-class fabric
+    network_gbs: float = 5.0
+    network_latency_us: float = 5.0
+
+
+def multinode_epoch_seconds(
+    dataset: DatasetSpec,
+    node: NodeSpec,
+    n_nodes: int,
+    i_blocks: int | None = None,
+    j_blocks: int | None = None,
+    half_precision: bool = True,
+) -> float:
+    """Modelled epoch seconds on ``n_nodes`` nodes of ``gpus_per_node`` GPUs.
+
+    The grid defaults to ``(2g, 2g)`` for ``g`` total GPUs (the §7.6
+    recommendation), clamped to the matrix shape. Each round dispatches one
+    independent block per GPU; intra-node hand-backs ride the GPU link,
+    inter-node hand-backs additionally ride the network. Blocks visited by a
+    different node than last time must fetch their segments remotely —
+    with random scheduling that is a fraction ``1 - 1/n_nodes`` of
+    dispatches.
+    """
+    if n_nodes <= 0:
+        raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+    total_gpus = n_nodes * node.gpus_per_node
+    g = max(1, total_gpus)
+    i = i_blocks if i_blocks is not None else min(dataset.m, 2 * g)
+    j = j_blocks if j_blocks is not None else min(dataset.n, 2 * g)
+    if min(i, j) < g:
+        raise ValueError(
+            f"grid ({i}, {j}) cannot feed {g} GPUs with independent blocks"
+        )
+
+    feature_bytes = 2 if half_precision else 4
+    point = cumf_throughput(node.gpu, dataset, half_precision=half_precision)
+    total_blocks = i * j
+    rounds = -(-total_blocks // g)
+    block_nnz = dataset.n_train / total_blocks
+    seg_bytes = (dataset.m // i + dataset.n // j) * dataset.k * feature_bytes
+
+    compute = block_nnz / point.updates_per_sec
+    link = node.gpu.link
+    h2d_bytes = seg_bytes + (0 if dataset_fits_gpu(dataset, node.gpu, half_precision)
+                             else block_nnz * 12)
+    local_h2d = link.transfer_seconds(h2d_bytes)
+    local_d2h = link.transfer_seconds(seg_bytes)
+    remote_fraction = 0.0 if n_nodes == 1 else 1.0 - 1.0 / n_nodes
+    network = (
+        node.network_latency_us * 1e-6 + seg_bytes / (node.network_gbs * 1e9)
+    ) * remote_fraction
+    # H2D (and the remote fetch feeding it) overlaps the previous round's
+    # compute; the D2H hand-back synchronizes the round.
+    per_round = max(compute, local_h2d + network) + local_d2h + network
+    return rounds * per_round
+
+
+def multinode_scaling_curve(
+    dataset: DatasetSpec,
+    node: NodeSpec,
+    node_counts: list[int],
+    workers_per_gpu: int | None = None,
+    half_precision: bool = True,
+) -> list[tuple[int, float, float, bool]]:
+    """``(nodes, epoch_seconds, speedup_vs_1, safe)`` over a node sweep.
+
+    ``safe`` applies the §7.5 rule to the default ``2g x 2g`` grid with the
+    per-GPU worker count — the convergence constraint that ultimately caps
+    multi-node scaling for column-starved data sets.
+    """
+    if not node_counts or any(n <= 0 for n in node_counts):
+        raise ValueError("node_counts must be positive")
+    workers = workers_per_gpu or node.gpu.max_resident_blocks
+    base = multinode_epoch_seconds(dataset, node, 1, half_precision=half_precision)
+    out = []
+    for n in node_counts:
+        g = n * node.gpus_per_node
+        i = min(dataset.m, 2 * g)
+        j = min(dataset.n, 2 * g)
+        seconds = multinode_epoch_seconds(dataset, node, n, half_precision=half_precision)
+        safe = workers < hogwild_safety_bound(dataset.m, dataset.n, i, j)
+        out.append((n, seconds, base / seconds, safe))
+    return out

@@ -1,0 +1,58 @@
+"""Occupancy model: how many parallel workers a GPU can keep resident.
+
+CuMF_SGD fixes the thread-block size at one warp (32 threads) to use warp
+shuffles, and the CUDA compiler needs 33 registers/thread (§4) — low enough
+that concurrency is limited only by the architectural resident-block cap of
+32 blocks/SM. That yields the paper's 768 workers on Maxwell (24 SMs) and
+1792 on Pascal (56 SMs).
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.specs import GPUSpec
+
+__all__ = [
+    "max_parallel_workers",
+    "occupancy_fraction",
+    "register_limited_blocks",
+]
+
+#: Registers the CUDA compiler allocates per thread for the cuMF_SGD kernel.
+KERNEL_REGISTERS_PER_THREAD = 33
+#: Warp-sized thread blocks (the §4 design decision enabling warp shuffle).
+BLOCK_THREADS = 32
+#: 64K 32-bit registers per SM on both Maxwell and Pascal.
+REGISTERS_PER_SM = 65536
+#: Max resident threads per SM on both generations.
+THREADS_PER_SM = 2048
+
+
+def register_limited_blocks(registers_per_thread: int = KERNEL_REGISTERS_PER_THREAD) -> int:
+    """Resident blocks/SM allowed by the register file alone."""
+    if registers_per_thread <= 0:
+        raise ValueError("registers_per_thread must be positive")
+    return REGISTERS_PER_SM // (registers_per_thread * BLOCK_THREADS)
+
+
+def max_parallel_workers(spec: GPUSpec, registers_per_thread: int = KERNEL_REGISTERS_PER_THREAD) -> int:
+    """Hardware cap on concurrent parallel workers for the cuMF_SGD kernel.
+
+    The binding limit is ``min(arch block cap, register cap, thread cap)``
+    per SM times the SM count. With 33 regs/thread the register file allows
+    62 blocks/SM, and 32-thread blocks leave the thread cap at 64/SM, so the
+    architectural 32 blocks/SM cap binds — matching the paper's 768/1792.
+    """
+    per_sm = min(
+        spec.max_blocks_per_sm,
+        register_limited_blocks(registers_per_thread),
+        THREADS_PER_SM // BLOCK_THREADS,
+    )
+    return per_sm * spec.sms
+
+
+def occupancy_fraction(workers: int, spec: GPUSpec) -> float:
+    """Fraction of the resident-worker cap in use."""
+    cap = max_parallel_workers(spec)
+    if workers <= 0:
+        raise ValueError(f"workers must be positive, got {workers}")
+    return min(1.0, workers / cap)

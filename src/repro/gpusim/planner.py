@@ -1,0 +1,170 @@
+"""Training-configuration planner.
+
+Answers the question a cuMF_SGD user actually faces (§6.1 + §7.5): *given
+this data set and these GPUs, how should I partition and how many workers
+may I run?* The constraints interact:
+
+* every block (samples + feature segments) must fit in device memory, which
+  pushes the grid finer;
+* the Hogwild safety rule ``s < min(m/i, n/j)/20`` pushes the grid coarser
+  and the worker count lower;
+* with ``g`` devices the grid needs ``min(i, j) >= g`` for independent
+  blocks, and §7.6 wants at least ``2g`` to preserve ordering randomness;
+* throughput wants the worker count at the occupancy cap.
+
+:func:`plan_training` searches that space and returns the fastest modelled
+configuration that satisfies every hard constraint, with warnings for the
+soft ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.convergence import SAFETY_FACTOR, hogwild_safety_bound
+from repro.data.synthetic import DatasetSpec
+from repro.gpusim.occupancy import max_parallel_workers
+from repro.gpusim.simulator import (
+    cumf_throughput,
+    dataset_fits_gpu,
+    epoch_seconds,
+    multi_gpu_epoch_seconds,
+)
+from repro.gpusim.specs import GPUSpec
+
+__all__ = ["TrainingPlan", "plan_training", "block_bytes"]
+
+
+def block_bytes(
+    dataset: DatasetSpec, i: int, j: int, half_precision: bool = True
+) -> int:
+    """Worst-case device bytes of one grid block plus its feature segments."""
+    if i <= 0 or j <= 0:
+        raise ValueError(f"grid ({i}, {j}) must be positive")
+    feature = 2 if half_precision else 4
+    # uniform-density estimate with a 2x hot-block allowance
+    samples = 2.0 * dataset.n_train / (i * j)
+    rows = -(-dataset.m // i)
+    cols = -(-dataset.n // j)
+    return int(samples * 12 + (rows + cols) * dataset.k * feature)
+
+
+@dataclass
+class TrainingPlan:
+    """One feasible configuration with its modelled cost."""
+
+    dataset: str
+    device: str
+    n_devices: int
+    grid: tuple[int, int]
+    workers: int
+    staged: bool
+    epoch_seconds: float
+    safety_bound: float
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def safe(self) -> bool:
+        return self.workers < self.safety_bound
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        grid = f"{self.grid[0]}x{self.grid[1]}"
+        return (
+            f"{self.dataset} on {self.n_devices}x {self.device}: grid {grid}, "
+            f"{self.workers} workers, "
+            f"{'staged' if self.staged else 'resident'}, "
+            f"{self.epoch_seconds:.2f}s/epoch"
+            + (f"  [warnings: {'; '.join(self.warnings)}]" if self.warnings else "")
+        )
+
+
+def _grid_candidates(dataset: DatasetSpec, n_devices: int) -> list[tuple[int, int]]:
+    """Candidate (i, j) grids: powers of two per axis, ordered coarse-first."""
+    grids = []
+    i = max(1, n_devices)
+    while i <= 256 and i <= dataset.m:
+        j = max(1, n_devices)
+        while j <= 256 and j <= dataset.n:
+            grids.append((i, j))
+            j *= 2
+        i *= 2
+    grids.sort(key=lambda g: g[0] * g[1])
+    return grids
+
+
+def plan_training(
+    dataset: DatasetSpec,
+    spec: GPUSpec,
+    n_devices: int = 1,
+    half_precision: bool = True,
+    require_safe: bool = True,
+) -> TrainingPlan:
+    """Pick the fastest feasible (grid, workers) configuration.
+
+    Raises ``ValueError`` when no configuration satisfies the hard
+    constraints (memory + independent blocks + at least one safe worker when
+    ``require_safe``).
+    """
+    if n_devices <= 0:
+        raise ValueError(f"n_devices must be positive, got {n_devices}")
+    mem_budget = spec.mem_gb * 1e9 * 0.9  # leave headroom for the runtime
+    cap = max_parallel_workers(spec)
+
+    best: TrainingPlan | None = None
+    for i, j in _grid_candidates(dataset, n_devices):
+        if min(i, j) < n_devices:
+            continue
+        whole_fits = n_devices == 1 and i == 1 and j == 1 and dataset_fits_gpu(
+            dataset, spec, half_precision
+        )
+        if not whole_fits and block_bytes(dataset, i, j, half_precision) > mem_budget:
+            continue
+        bound = hogwild_safety_bound(dataset.m, dataset.n, i, j)
+        workers = min(cap, max(1, int(bound) - 1)) if require_safe else cap
+        if require_safe and workers >= bound:
+            continue
+
+        if n_devices == 1 and (i, j) == (1, 1):
+            seconds = epoch_seconds(spec, dataset, workers=workers,
+                                    half_precision=half_precision)
+            staged = not dataset_fits_gpu(dataset, spec, half_precision)
+        elif n_devices == 1:
+            seconds = epoch_seconds(spec, dataset, workers=workers,
+                                    half_precision=half_precision,
+                                    i_blocks=i, j_blocks=j)
+            staged = True
+        else:
+            seconds = multi_gpu_epoch_seconds(spec, dataset, n_devices, i, j,
+                                              half_precision=half_precision)
+            staged = True
+
+        warnings = []
+        if workers < cap:
+            warnings.append(
+                f"workers capped at {workers} by the safety rule "
+                f"(occupancy would allow {cap})"
+            )
+        if n_devices > 1 and min(i, j) < 2 * n_devices:
+            warnings.append(
+                f"grid {i}x{j} below the 2g={2 * n_devices} recommendation "
+                "(§7.6: constrained block orders hurt randomness)"
+            )
+        plan = TrainingPlan(
+            dataset=dataset.name,
+            device=spec.name,
+            n_devices=n_devices,
+            grid=(i, j),
+            workers=workers,
+            staged=staged,
+            epoch_seconds=seconds,
+            safety_bound=bound,
+            warnings=warnings,
+        )
+        if best is None or plan.epoch_seconds < best.epoch_seconds:
+            best = plan
+    if best is None:
+        raise ValueError(
+            f"no feasible configuration for {dataset.name} on "
+            f"{n_devices}x {spec.name} (safety factor {SAFETY_FACTOR})"
+        )
+    return best

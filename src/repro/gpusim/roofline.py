@@ -1,0 +1,90 @@
+"""Roofline model (§2.3 / Eq. 4-5).
+
+The paper's workload characterization: one SGD update has arithmetic
+intensity ≈ 0.43 flops/byte at k=128 while processors balance at ~10, so
+SGD-based MF sits far under the memory roof. This module evaluates the
+classic roofline ``attainable = min(peak_flops, intensity x bandwidth)`` for
+any device spec and update configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.specs import CPUSpec, GPUSpec
+from repro.metrics.flops import bytes_per_update, flops_byte_ratio, flops_per_update
+
+__all__ = ["RooflinePoint", "attainable_flops", "roofline_point", "machine_balance"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """Where one kernel configuration lands on a device's roofline."""
+
+    device: str
+    k: int
+    feature_bytes: int
+    intensity: float
+    peak_gflops: float
+    bandwidth_gbs: float
+    attainable_gflops: float
+    memory_bound: bool
+    #: Updates/s implied by the memory roof alone (the model's headline).
+    bandwidth_bound_updates_per_sec: float
+
+    @property
+    def efficiency(self) -> float:
+        """Attainable / peak flops — how much silicon the workload can use."""
+        return self.attainable_gflops / self.peak_gflops
+
+
+def machine_balance(peak_gflops: float, bandwidth_gbs: float) -> float:
+    """Flops/byte at which a device transitions memory- to compute-bound."""
+    if bandwidth_gbs <= 0:
+        raise ValueError("bandwidth must be positive")
+    return peak_gflops / bandwidth_gbs
+
+
+def attainable_flops(
+    intensity: float, peak_gflops: float, bandwidth_gbs: float
+) -> float:
+    """The roofline: ``min(peak, intensity x bandwidth)`` in GFLOP/s."""
+    if intensity <= 0:
+        raise ValueError(f"intensity must be positive, got {intensity}")
+    return min(peak_gflops, intensity * bandwidth_gbs)
+
+
+def roofline_point(
+    device: GPUSpec | CPUSpec,
+    k: int = 128,
+    feature_bytes: int = 4,
+) -> RooflinePoint:
+    """Evaluate the SGD-MF kernel on a device's roofline.
+
+    For a GPU the bandwidth is the *achieved* DRAM bandwidth; for a CPU the
+    DRAM bandwidth (cache effects are handled separately by
+    :mod:`repro.gpusim.memory`).
+    """
+    if isinstance(device, GPUSpec):
+        bw = device.achieved_bw_gbs
+        peak = device.peak_gflops
+        name = device.name
+    else:
+        bw = device.dram_bw_gbs
+        # 4-wide SSE FMA per core as in LIBMF
+        peak = device.physical_cores * device.clock_ghz * 8.0
+        name = device.name
+    intensity = flops_byte_ratio(k, feature_bytes=feature_bytes)
+    attain = attainable_flops(intensity, peak, bw)
+    balance = machine_balance(peak, bw)
+    return RooflinePoint(
+        device=name,
+        k=k,
+        feature_bytes=feature_bytes,
+        intensity=intensity,
+        peak_gflops=peak,
+        bandwidth_gbs=bw,
+        attainable_gflops=attain,
+        memory_bound=intensity < balance,
+        bandwidth_bound_updates_per_sec=bw * 1e9 / bytes_per_update(k, feature_bytes=feature_bytes),
+    )

@@ -1,0 +1,315 @@
+"""Top-level performance model: updates/s and epoch time for every solver.
+
+Combines the roofline (memory-bandwidth ceiling), the per-worker
+latency-bound regime (linear scaling), the scheduler-contention model
+(Fig. 5b saturation), the CPU cache model (Fig. 2a), and the stream pipeline
+(§6 staging) into the two quantities every paper experiment needs:
+
+* ``#Updates/s`` for a (solver, device, data set, worker-count) tuple;
+* seconds per epoch, including CPU-GPU staging for out-of-memory data sets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.data.synthetic import DatasetSpec
+from repro.gpusim.contention import ContentionModel, scheduler_throughput
+from repro.gpusim.interconnect import TransferModel
+from repro.gpusim.memory import libmf_dram_bytes_per_update
+from repro.gpusim.occupancy import max_parallel_workers
+from repro.gpusim.specs import CPUSpec, GPUSpec
+from repro.gpusim.streams import StagedBlock, StreamPipeline
+from repro.metrics.flops import bytes_per_update
+
+__all__ = [
+    "PerfPoint",
+    "cumf_throughput",
+    "libmf_cpu_throughput",
+    "epoch_seconds",
+    "scaling_curve",
+    "staged_epoch_seconds",
+    "GPU_SCHEMES",
+]
+
+GPU_SCHEMES = ("batch_hogwild", "wavefront", "libmf_gpu")
+
+
+@dataclass(frozen=True)
+class PerfPoint:
+    """One modelled throughput point."""
+
+    solver: str
+    device: str
+    dataset: str
+    workers: int
+    updates_per_sec: float
+    k: int
+    feature_bytes: int
+
+    @property
+    def effective_bandwidth_gbs(self) -> float:
+        """Bytes processed by the compute units per second (footnote 2)."""
+        return (
+            self.updates_per_sec
+            * bytes_per_update(self.k, feature_bytes=self.feature_bytes)
+            / 1e9
+        )
+
+    @property
+    def mupdates(self) -> float:
+        return self.updates_per_sec / 1e6
+
+
+# ----------------------------------------------------------------------
+# GPU side
+# ----------------------------------------------------------------------
+def _gpu_contention(
+    scheme: str, spec: GPUSpec, a: int
+) -> tuple[ContentionModel, str]:
+    """Map a scheduling scheme to its contention structure."""
+    if scheme == "batch_hogwild":
+        return ContentionModel("batch-Hogwild!", t_critical=0.0), "batch-Hogwild!"
+    if scheme == "wavefront":
+        # one column-lock CAS per block, outside any critical section
+        return (
+            ContentionModel(
+                "wavefront", t_critical=0.0, t_block_overhead=spec.atomic_latency_us * 1e-6
+            ),
+            "wavefront",
+        )
+    if scheme == "libmf_gpu":
+        # the paper's O(a) port of LIBMF's scheduler: scan a rows + a columns
+        # inside a critical section protected by global atomics
+        t_cs = (2 * a * spec.table_cell_scan_us + spec.atomic_latency_us) * 1e-6
+        return ContentionModel("LIBMF-GPU", t_critical=t_cs), "LIBMF-GPU"
+    raise ValueError(f"unknown GPU scheme {scheme!r}; choose from {GPU_SCHEMES}")
+
+
+def cumf_throughput(
+    spec: GPUSpec,
+    dataset: DatasetSpec,
+    workers: int | None = None,
+    scheme: str = "batch_hogwild",
+    k: int | None = None,
+    half_precision: bool = True,
+    f: int = 256,
+    a: int = 100,
+) -> PerfPoint:
+    """Modelled #Updates/s of cuMF_SGD (or the LIBMF GPU port) on one GPU.
+
+    Per-worker update time is ``bytes_per_update / per-worker bandwidth
+    share`` (latency-bound linear regime); the device-wide ceiling is the
+    achieved-bandwidth roof. Scheduler overhead per the scheme.
+    """
+    k = k or dataset.k
+    feature_bytes = 2 if half_precision else 4
+    cap = max_parallel_workers(spec)
+    w = min(workers if workers is not None else cap, cap)
+    if w <= 0:
+        raise ValueError(f"workers must be positive, got {w}")
+
+    update_bytes = bytes_per_update(k, feature_bytes=feature_bytes)
+    update_seconds = update_bytes / spec.per_worker_bandwidth()
+    roof = spec.achieved_bw_gbs * 1e9 / update_bytes
+
+    model, label = _gpu_contention(scheme, spec, a)
+    if scheme == "batch_hogwild":
+        updates_per_block = float(f)
+    elif scheme == "wavefront":
+        updates_per_block = max(1.0, dataset.n_train / (w * 2 * w))
+    else:
+        updates_per_block = max(1.0, dataset.n_train / (a * a))
+
+    ups = scheduler_throughput(
+        model, w, updates_per_block, update_seconds, bandwidth_updates_cap=roof
+    )
+    return PerfPoint(
+        solver=label,
+        device=spec.name,
+        dataset=dataset.name,
+        workers=w,
+        updates_per_sec=ups,
+        k=k,
+        feature_bytes=feature_bytes,
+    )
+
+
+# ----------------------------------------------------------------------
+# CPU side (LIBMF)
+# ----------------------------------------------------------------------
+def libmf_cpu_throughput(
+    cpu: CPUSpec,
+    dataset: DatasetSpec,
+    threads: int = 40,
+    a: int = 100,
+    k: int | None = None,
+) -> PerfPoint:
+    """Modelled #Updates/s of LIBMF on the host CPU.
+
+    Per-thread compute time from the SSE cost constant; the device-wide
+    memory roof uses the cache model's DRAM bytes/update; the global-table
+    critical section (O(a²) scan) caps the grant rate.
+    """
+    k = k or dataset.k
+    cache = libmf_dram_bytes_per_update(dataset, cpu, a=a, threads=threads)
+    mem_roof = cpu.dram_bw_gbs * 1e9 / cache.dram_bytes_per_update
+    t_cs = (a * a * cpu.table_cell_scan_us + cpu.atomic_latency_us) * 1e-6
+    model = ContentionModel("LIBMF", t_critical=t_cs)
+    updates_per_block = max(1.0, dataset.n_train / (a * a))
+    ups = scheduler_throughput(
+        model,
+        min(threads, cpu.max_threads),
+        updates_per_block,
+        cpu.update_compute_us * 1e-6,
+        bandwidth_updates_cap=mem_roof,
+    )
+    return PerfPoint(
+        solver="LIBMF",
+        device=cpu.name,
+        dataset=dataset.name,
+        workers=threads,
+        updates_per_sec=ups,
+        k=k,
+        feature_bytes=4,
+    )
+
+
+# ----------------------------------------------------------------------
+# epoch time, with staging for out-of-memory data sets
+# ----------------------------------------------------------------------
+def dataset_fits_gpu(dataset: DatasetSpec, spec: GPUSpec, half_precision: bool = True) -> bool:
+    """§6 sizing: can COO samples + both feature matrices reside on device?"""
+    need = dataset.coo_bytes + dataset.feature_bytes(half_precision)
+    return need <= spec.mem_gb * 1e9
+
+
+def staged_epoch_seconds(
+    spec: GPUSpec,
+    dataset: DatasetSpec,
+    updates_per_sec: float,
+    i_blocks: int = 64,
+    j_blocks: int = 1,
+    depth: int = 2,
+    half_precision: bool = True,
+) -> float:
+    """Epoch time when R must be staged in ``i x j`` blocks (§6.2).
+
+    The paper's Hugewiki configuration: 64 x 1 blocks, two resident, H2D of
+    block b+1 overlapped with compute of block b via three CUDA streams.
+    """
+    if updates_per_sec <= 0:
+        raise ValueError("updates_per_sec must be positive")
+    feature_bytes = 2 if half_precision else 4
+    transfer = TransferModel(spec.link, k=dataset.k, feature_bytes=feature_bytes)
+    block_nnz = dataset.n_train / (i_blocks * j_blocks)
+    block_rows = dataset.m // i_blocks
+    block_cols = dataset.n // j_blocks
+    blocks = [
+        StagedBlock(
+            h2d_seconds=transfer.shape_h2d_seconds(int(block_nnz), block_rows, block_cols),
+            compute_seconds=block_nnz / updates_per_sec,
+            d2h_seconds=transfer.shape_d2h_seconds(block_rows, block_cols),
+            label=f"b{b}",
+        )
+        for b in range(i_blocks * j_blocks)
+    ]
+    return StreamPipeline(depth=depth).simulate(blocks).makespan
+
+
+def epoch_seconds(
+    spec: GPUSpec,
+    dataset: DatasetSpec,
+    workers: int | None = None,
+    scheme: str = "batch_hogwild",
+    half_precision: bool = True,
+    i_blocks: int = 64,
+    j_blocks: int = 1,
+) -> float:
+    """Seconds per full pass over the data set on one GPU.
+
+    In-memory data sets: pure compute. Out-of-memory: the staged pipeline.
+    """
+    point = cumf_throughput(
+        spec, dataset, workers=workers, scheme=scheme, half_precision=half_precision
+    )
+    if dataset_fits_gpu(dataset, spec, half_precision):
+        return dataset.n_train / point.updates_per_sec
+    return staged_epoch_seconds(
+        spec,
+        dataset,
+        point.updates_per_sec,
+        i_blocks=i_blocks,
+        j_blocks=j_blocks,
+        half_precision=half_precision,
+    )
+
+
+def multi_gpu_epoch_seconds(
+    spec: GPUSpec,
+    dataset: DatasetSpec,
+    n_gpus: int,
+    i_blocks: int,
+    j_blocks: int,
+    half_precision: bool = True,
+) -> float:
+    """Epoch time with ``n_gpus`` pulling independent blocks (§6.1, Fig. 16).
+
+    Each scheduling round dispatches one independent block per GPU: the
+    feature segments move host-to-device (overlapped with the previous
+    round's compute up to the pipeline depth), the block computes, and the
+    segments return before the next round may reuse them — the CPU-GPU
+    synchronization the paper blames for Fig. 16's sub-linear 1.5x scaling.
+    Rating blocks are staged too when the data set exceeds device memory.
+    """
+    if n_gpus <= 0:
+        raise ValueError(f"n_gpus must be positive, got {n_gpus}")
+    if n_gpus > min(i_blocks, j_blocks):
+        raise ValueError(
+            f"{n_gpus} GPUs need an independent block each; grid "
+            f"({i_blocks}, {j_blocks}) supports at most {min(i_blocks, j_blocks)}"
+        )
+    point = cumf_throughput(spec, dataset, half_precision=half_precision)
+    if n_gpus == 1:
+        return epoch_seconds(
+            spec, dataset, half_precision=half_precision,
+            i_blocks=i_blocks, j_blocks=j_blocks,
+        )
+    feature_bytes = 2 if half_precision else 4
+    total_blocks = i_blocks * j_blocks
+    rounds = math.ceil(total_blocks / n_gpus)
+    block_nnz = dataset.n_train / total_blocks
+    seg_bytes = (dataset.m // i_blocks + dataset.n // j_blocks) * dataset.k * feature_bytes
+    h2d_bytes = seg_bytes
+    if not dataset_fits_gpu(dataset, spec, half_precision):
+        h2d_bytes += block_nnz * 12
+    h2d = spec.link.transfer_seconds(h2d_bytes)
+    d2h = spec.link.transfer_seconds(seg_bytes)
+    compute = block_nnz / point.updates_per_sec
+    # H2D overlaps the previous round's compute; D2H is the synchronization
+    # tail the segment hand-back imposes before the next round.
+    per_round = max(compute, h2d) + d2h
+    return rounds * per_round
+
+
+def scaling_curve(
+    spec: GPUSpec,
+    dataset: DatasetSpec,
+    scheme: str = "batch_hogwild",
+    workers_list: list[int] | None = None,
+    **kwargs,
+) -> list[PerfPoint]:
+    """Throughput over a sweep of worker counts (Figs. 5b, 7a, 11)."""
+    cap = max_parallel_workers(spec)
+    if workers_list is None:
+        workers_list = sorted(
+            {max(1, int(cap * frac)) for frac in (0.05, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0)}
+        )
+    bad = [w for w in workers_list if w <= 0]
+    if bad:
+        raise ValueError(f"worker counts must be positive, got {bad}")
+    return [
+        cumf_throughput(spec, dataset, workers=w, scheme=scheme, **kwargs)
+        for w in workers_list
+    ]

@@ -1,0 +1,195 @@
+"""Hardware specifications (the paper's Table 1, plus calibration constants).
+
+Every number that appears in the paper is taken from the paper; the few
+micro-architectural constants it does not publish (DRAM achieved fraction,
+atomic latency, table-scan cost per cell) are documented inline with their
+physical justification and are shared by all experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "InterconnectSpec",
+    "GPUSpec",
+    "CPUSpec",
+    "ClusterSpec",
+    "PCIE3_X16",
+    "NVLINK",
+    "MAXWELL_TITAN_X",
+    "PASCAL_P100",
+    "XEON_E5_2670_DUAL",
+    "NOMAD_HPC_CLUSTER",
+]
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """CPU<->device link.
+
+    ``achieved_gbs`` is what the paper *measured*: 5.5 GB/s on PCIe 3.0 x16
+    and 29.1 GB/s on NVLink (§7.3), well below the respective 16 / 80 GB/s
+    peaks.
+    """
+
+    name: str
+    peak_gbs: float
+    achieved_gbs: float
+    latency_us: float = 10.0
+
+    def transfer_seconds(self, nbytes: int | float) -> float:
+        """Time to move ``nbytes`` over the link (latency + bandwidth)."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        return self.latency_us * 1e-6 + nbytes / (self.achieved_gbs * 1e9)
+
+
+PCIE3_X16 = InterconnectSpec("PCIe 3.0 x16", peak_gbs=16.0, achieved_gbs=5.5)
+NVLINK = InterconnectSpec("NVLink", peak_gbs=80.0, achieved_gbs=29.1, latency_us=5.0)
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One GPU of Table 1 plus the calibration constants of the model."""
+
+    name: str
+    sms: int
+    cuda_cores_per_sm: int
+    mem_gb: float
+    mem_bw_gbs: float
+    max_blocks_per_sm: int
+    clock_ghz: float
+    link: InterconnectSpec
+    #: Fraction of peak DRAM bandwidth a fully-occupied streaming SGD kernel
+    #: sustains. Calibrated once from the paper's own measurements: Maxwell
+    #: reaches 266 of 360 GB/s (Fig. 11b) = 0.74; Pascal 567-635 of 780 GB/s
+    #: = 0.73-0.81. HBM2 sustains a slightly higher fraction than GDDR5.
+    achieved_bw_fraction: float = 0.74
+    #: Latency of one global-memory atomic RMW (the column-lock CAS and the
+    #: scheduling-table updates), ~600 ns on both generations.
+    atomic_latency_us: float = 0.6
+    #: Cost to scan one scheduling-table cell from a GPU worker (uncached
+    #: global reads guarded by atomics inside a critical section). Calibrated
+    #: so the O(a) LIBMF-GPU port saturates at ~240 blocks as the paper
+    #: measures (Fig. 5b).
+    table_cell_scan_us: float = 1.2
+    l1_line_bytes: int = 128
+
+    @property
+    def max_resident_blocks(self) -> int:
+        """Hardware limit on concurrent parallel workers: 768 on Maxwell
+        (24 SMs x 32), 1792 on Pascal (56 SMs x 32) — the x-axis ceilings of
+        Figs. 5b/7a/11."""
+        return self.sms * self.max_blocks_per_sm
+
+    @property
+    def achieved_bw_gbs(self) -> float:
+        return self.mem_bw_gbs * self.achieved_bw_fraction
+
+    @property
+    def peak_gflops(self) -> float:
+        """Single-precision peak (2 flops/core/cycle FMA)."""
+        return self.sms * self.cuda_cores_per_sm * self.clock_ghz * 2.0
+
+    def per_worker_bandwidth(self) -> float:
+        """Sustained bytes/s available to one resident worker.
+
+        At full occupancy the workers exactly saturate the achieved DRAM
+        bandwidth — which is why the paper's scaling curves are near-linear
+        right up to the resident-block limit (Figs. 7a, 11a).
+        """
+        return self.achieved_bw_gbs * 1e9 / self.max_resident_blocks
+
+
+MAXWELL_TITAN_X = GPUSpec(
+    name="Maxwell TITAN X",
+    sms=24,
+    cuda_cores_per_sm=128,
+    mem_gb=12.0,
+    mem_bw_gbs=360.0,
+    max_blocks_per_sm=32,
+    clock_ghz=1.0,
+    link=PCIE3_X16,
+    achieved_bw_fraction=0.74,
+)
+
+PASCAL_P100 = GPUSpec(
+    name="Pascal P100",
+    sms=56,
+    cuda_cores_per_sm=64,
+    mem_gb=16.0,
+    mem_bw_gbs=780.0,
+    max_blocks_per_sm=32,
+    clock_ghz=1.3,
+    link=NVLINK,
+    achieved_bw_fraction=0.78,
+)
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """The Maxwell platform's host CPU (2 x 12-core Xeon E5-2670)."""
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    threads_per_core: int
+    l3_mb_per_socket: float
+    dram_bw_gbs: float
+    clock_ghz: float
+    #: Per-thread SGD update compute time with SSE at k=128; ~900 flops at
+    #: 4-wide SIMD and ~3 GHz, plus address arithmetic: ~280 ns.
+    update_compute_us: float = 0.28
+    #: Cost per scheduling-table cell scanned inside the critical section
+    #: (atomic-protected shared cache lines bounce between cores): ~10 ns.
+    table_cell_scan_us: float = 0.010
+    atomic_latency_us: float = 1.0
+
+    @property
+    def max_threads(self) -> int:
+        return self.sockets * self.cores_per_socket * self.threads_per_core
+
+    @property
+    def physical_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def l3_bytes(self) -> float:
+        return self.sockets * self.l3_mb_per_socket * 1e6
+
+
+XEON_E5_2670_DUAL = CPUSpec(
+    name="2 x Xeon E5-2670 v3",
+    sockets=2,
+    cores_per_socket=12,
+    threads_per_core=2,
+    l3_mb_per_socket=30.0,
+    dram_bw_gbs=68.0,
+    clock_ghz=2.3,
+)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """NOMAD's 64-node HPC cluster (§7.2): 4 worker cores per node."""
+
+    name: str
+    nodes: int
+    cores_per_node: int
+    #: Per-node injection bandwidth of the interconnect actually achieved by
+    #: NOMAD's asynchronous column-token traffic. The paper blames "the slow
+    #: network" and cites [47] (InfiniBand scalability); ~1 GB/s/node of
+    #: useful payload is typical for small-message async traffic on FDR IB.
+    network_gbs_per_node: float
+    node_cpu: CPUSpec
+    network_latency_us: float = 2.0
+
+
+NOMAD_HPC_CLUSTER = ClusterSpec(
+    name="NOMAD 64-node HPC cluster",
+    nodes=64,
+    cores_per_node=4,
+    network_gbs_per_node=1.0,
+    node_cpu=XEON_E5_2670_DUAL,
+)

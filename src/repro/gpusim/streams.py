@@ -1,0 +1,111 @@
+"""CUDA-stream overlap simulator (§6.2-6.3).
+
+Each worker thread drives one GPU with three streams — H2D copy, compute,
+D2H copy — so the transfer of block ``b+1`` overlaps the computation of
+block ``b`` (Fig. 8b). Streams serialize internally; across streams commands
+run concurrently (PCIe/NVLink are full duplex, so H2D and D2H do not
+contend). Device memory holds at most ``depth`` staged blocks (the paper
+keeps two: one computing, one arriving), so the H2D of block ``b`` may not
+start before block ``b - depth`` has been copied back.
+
+The recurrence is the classic software pipeline::
+
+    h2d_done[b] = max(h2d_done[b-1], d2h_done[b-depth]) + t_h2d[b]
+    comp_done[b] = max(comp_done[b-1], h2d_done[b]) + t_comp[b]
+    d2h_done[b] = max(d2h_done[b-1], comp_done[b]) + t_d2h[b]
+
+yielding the epoch makespan and per-phase busy times (to quantify how much
+of the transfer cost the overlap hides — the §7.3 discussion of why Hugewiki
+speeds up more on NVLink).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["StagedBlock", "PipelineResult", "StreamPipeline", "simulate_epoch_staging"]
+
+
+@dataclass(frozen=True)
+class StagedBlock:
+    """One block's phase durations in seconds."""
+
+    h2d_seconds: float
+    compute_seconds: float
+    d2h_seconds: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if min(self.h2d_seconds, self.compute_seconds, self.d2h_seconds) < 0:
+            raise ValueError("phase durations must be non-negative")
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one device's staged epoch."""
+
+    makespan: float
+    h2d_busy: float
+    compute_busy: float
+    d2h_busy: float
+    #: (block label, h2d_done, compute_done, d2h_done) per block
+    timeline: list[tuple[str, float, float, float]] = field(default_factory=list)
+
+    @property
+    def compute_utilization(self) -> float:
+        """Fraction of the makespan the compute stream is busy — 1.0 means
+        transfers are fully hidden."""
+        return 0.0 if self.makespan == 0 else self.compute_busy / self.makespan
+
+    @property
+    def exposed_transfer(self) -> float:
+        """Wall time not covered by compute (the §6.2 'perfect overlapping
+        cannot be achieved' residue)."""
+        return self.makespan - self.compute_busy
+
+
+class StreamPipeline:
+    """Three-stream pipeline for one device."""
+
+    def __init__(self, depth: int = 2) -> None:
+        if depth < 1:
+            raise ValueError(f"pipeline depth must be >= 1, got {depth}")
+        self.depth = depth
+
+    def simulate(self, blocks: list[StagedBlock]) -> PipelineResult:
+        """Run the recurrence over the dispatch order given."""
+        h2d_done: list[float] = []
+        comp_done: list[float] = []
+        d2h_done: list[float] = []
+        timeline: list[tuple[str, float, float, float]] = []
+        for b, blk in enumerate(blocks):
+            h2d_ready = h2d_done[b - 1] if b >= 1 else 0.0
+            if b >= self.depth:
+                h2d_ready = max(h2d_ready, d2h_done[b - self.depth])
+            h2d = h2d_ready + blk.h2d_seconds
+            comp = max(comp_done[b - 1] if b >= 1 else 0.0, h2d) + blk.compute_seconds
+            d2h = max(d2h_done[b - 1] if b >= 1 else 0.0, comp) + blk.d2h_seconds
+            h2d_done.append(h2d)
+            comp_done.append(comp)
+            d2h_done.append(d2h)
+            timeline.append((blk.label or str(b), h2d, comp, d2h))
+        return PipelineResult(
+            makespan=d2h_done[-1] if d2h_done else 0.0,
+            h2d_busy=sum(b.h2d_seconds for b in blocks),
+            compute_busy=sum(b.compute_seconds for b in blocks),
+            d2h_busy=sum(b.d2h_seconds for b in blocks),
+            timeline=timeline,
+        )
+
+
+def simulate_epoch_staging(
+    per_device_blocks: list[list[StagedBlock]], depth: int = 2
+) -> tuple[float, list[PipelineResult]]:
+    """Multi-GPU epoch: devices pipeline independently; the epoch ends when
+    the slowest device finishes (the epoch-boundary synchronization that
+    makes Fig. 16's 2-GPU scaling sub-linear)."""
+    if not per_device_blocks:
+        raise ValueError("need at least one device")
+    pipeline = StreamPipeline(depth=depth)
+    results = [pipeline.simulate(blocks) for blocks in per_device_blocks]
+    return max(r.makespan for r in results), results

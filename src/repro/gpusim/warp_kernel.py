@@ -1,0 +1,148 @@
+"""Warp-level functional model of the cuMF_SGD kernel (Fig. 4, §4).
+
+The CUDA kernel runs one SGD update on one warp (32 threads): each thread
+privately owns ``k/32`` feature scalars, the dot product is reduced with a
+``__shfl_down`` butterfly and broadcast with ``__shfl``, the sample is read
+through ``__ldg``, and the updated vectors are written back coalesced.
+
+This module *executes that algorithm lane by lane* — a 32-lane SIMD
+interpreter, not a vectorized shortcut — so the warp program itself can be
+verified against the reference update (tests prove bit-level fp32 agreement
+modulo reduction-order effects) and instrumented: per-lane flop counts,
+shuffle counts, and the coalesced transaction count per memory phase.
+
+It is deliberately slow (it is an emulator); the production path is
+:func:`repro.core.kernels.sgd_wave_update`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["WarpStats", "warp_sgd_update", "shfl_down_reduce", "WARP_SIZE"]
+
+WARP_SIZE = 32
+
+
+@dataclass
+class WarpStats:
+    """Instrumentation counters for one warp execution."""
+
+    flops: int = 0
+    shuffles: int = 0
+    global_loads: int = 0
+    global_stores: int = 0
+    ldg_loads: int = 0
+    #: 128-byte coalesced transactions per phase
+    transactions: dict = field(default_factory=dict)
+
+    def charge_phase(self, name: str, n_bytes: int, line: int = 128) -> None:
+        """Count the coalesced 128-byte transactions of one access phase."""
+        self.transactions[name] = self.transactions.get(name, 0) + -(-n_bytes // line)
+
+
+def shfl_down_reduce(lane_values: np.ndarray, stats: WarpStats | None = None) -> float:
+    """The Fig. 4 ``__shfl_down`` butterfly sum over 32 lanes.
+
+    Executes the exact reduction tree (offsets 16, 8, 4, 2, 1) in fp32, so
+    the result — including its floating-point rounding order — matches what
+    the GPU computes, which generally differs from ``np.sum``'s pairwise
+    order in the last ulps.
+    """
+    vals = np.asarray(lane_values, dtype=np.float32).copy()
+    if vals.shape != (WARP_SIZE,):
+        raise ValueError(f"need exactly {WARP_SIZE} lane values, got {vals.shape}")
+    offset = WARP_SIZE // 2
+    while offset >= 1:
+        # lane i reads lane i+offset (shfl_down) and accumulates
+        shifted = np.concatenate([vals[offset:], np.zeros(offset, np.float32)])
+        vals = (vals + shifted).astype(np.float32)
+        if stats is not None:
+            stats.shuffles += 1
+            stats.flops += offset  # adds performed by the active lanes
+        offset //= 2
+    return float(vals[0])
+
+
+def warp_sgd_update(
+    p: np.ndarray,
+    q: np.ndarray,
+    u: int,
+    v: int,
+    r: float,
+    lr: float,
+    lam: float,
+    stats: WarpStats | None = None,
+) -> float:
+    """Execute one SGD update exactly as the Fig. 4 warp program does.
+
+    Steps, per the kernel: (1) ``__ldg`` the sample, (2) coalesced load of
+    the k/32 per-lane slices of ``p_u`` and ``q_v``, (3) per-lane partial
+    dot products, (4) shuffle-tree reduction + broadcast of the error,
+    (5) per-lane vector update and coalesced store. Mutates ``p`` and ``q``
+    and returns the error.
+
+    Requires ``k`` to be a multiple of 32 (the kernel's ILP layout: each
+    thread processes ``k/32`` scalars).
+    """
+    k = p.shape[1]
+    if k % WARP_SIZE != 0:
+        raise ValueError(f"k={k} must be a multiple of the warp size (32)")
+    if q.shape[1] != k:
+        raise ValueError("P and Q disagree in k")
+    per_lane = k // WARP_SIZE
+    stats = stats if stats is not None else WarpStats()
+
+    # (1) read the rating through the read-only cache path
+    rating = np.float32(r)
+    stats.ldg_loads += 1
+    stats.charge_phase("sample", 12)
+
+    # (2) coalesced loads: lane t reads elements t, t+32, t+64, ...
+    lanes_p = np.empty((WARP_SIZE, per_lane), dtype=np.float32)
+    lanes_q = np.empty((WARP_SIZE, per_lane), dtype=np.float32)
+    row_p = p[u].astype(np.float32)
+    row_q = q[v].astype(np.float32)
+    for lane in range(WARP_SIZE):
+        for i in range(per_lane):
+            lanes_p[lane, i] = row_p[lane + i * WARP_SIZE]
+            lanes_q[lane, i] = row_q[lane + i * WARP_SIZE]
+            stats.global_loads += 2
+    stats.charge_phase("load_p", k * 4)
+    stats.charge_phase("load_q", k * 4)
+
+    # (3) per-lane partial dot product (the ILP-unrolled loop)
+    partial = np.zeros(WARP_SIZE, dtype=np.float32)
+    for lane in range(WARP_SIZE):
+        acc = np.float32(0.0)
+        for i in range(per_lane):
+            acc = np.float32(acc + lanes_p[lane, i] * lanes_q[lane, i])
+            stats.flops += 2
+        partial[lane] = acc
+
+    # (4) butterfly reduction; lane 0 computes the error, broadcast via shfl
+    dot = np.float32(shfl_down_reduce(partial, stats))
+    err = np.float32(rating - dot)
+    stats.flops += 1
+    stats.shuffles += 1  # the broadcast
+
+    # (5) per-lane update and coalesced store (gradient uses the OLD values)
+    lr32, lam32 = np.float32(lr), np.float32(lam)
+    for lane in range(WARP_SIZE):
+        for i in range(per_lane):
+            old_p = lanes_p[lane, i]
+            old_q = lanes_q[lane, i]
+            new_p = np.float32(old_p + lr32 * np.float32(err * old_q - lam32 * old_p))
+            new_q = np.float32(old_q + lr32 * np.float32(err * old_p - lam32 * old_q))
+            row_p[lane + i * WARP_SIZE] = new_p
+            row_q[lane + i * WARP_SIZE] = new_q
+            stats.flops += 8
+            stats.global_stores += 2
+    stats.charge_phase("store_p", k * 4)
+    stats.charge_phase("store_q", k * 4)
+
+    p[u] = row_p if p.dtype == np.float32 else row_p.astype(p.dtype)
+    q[v] = row_q if q.dtype == np.float32 else row_q.astype(q.dtype)
+    return float(err)

@@ -1,0 +1,47 @@
+"""Metrics: the quantities the paper reports.
+
+* test RMSE (the convergence indicator of every RMSE-vs-time figure),
+* ``#Updates/s`` (Eq. 7, the throughput indicator of Figs. 5, 7, 10, 11),
+* Flops/Byte (Eqs. 4-5, the §2.3 workload characterization),
+* effective memory bandwidth (Figs. 2, 10, 11).
+"""
+
+from repro.metrics.flops import (
+    FLOPS_PER_UPDATE,
+    BYTES_PER_UPDATE,
+    flops_byte_ratio,
+    flops_per_update,
+    bytes_per_update,
+)
+from repro.metrics.ranking import (
+    hit_rate,
+    ndcg_at_n,
+    precision_at_n,
+    recall_at_n,
+    top_n,
+)
+from repro.metrics.rmse import predict, rmse, rmse_objective
+from repro.metrics.throughput import (
+    ThroughputRecord,
+    effective_bandwidth,
+    updates_per_second,
+)
+
+__all__ = [
+    "rmse",
+    "predict",
+    "top_n",
+    "hit_rate",
+    "precision_at_n",
+    "recall_at_n",
+    "ndcg_at_n",
+    "rmse_objective",
+    "updates_per_second",
+    "effective_bandwidth",
+    "ThroughputRecord",
+    "flops_byte_ratio",
+    "flops_per_update",
+    "bytes_per_update",
+    "FLOPS_PER_UPDATE",
+    "BYTES_PER_UPDATE",
+]

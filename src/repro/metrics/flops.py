@@ -1,0 +1,70 @@
+"""Workload characterization: the Flops/Byte analysis of §2.3.
+
+Eq. 5 of the paper::
+
+    Flops/Byte = (6k + Σ_{i=1..log k} k/2^i) / (sizeof(r_uv) + 4k·sizeof(float))
+
+The numerator counts one SGD update: the dot product (2k flops), the error
+(1 flop, folded into the 6k bookkeeping as in the paper), two AXPY-style
+vector updates (4k flops), plus the tree reduction of the dot product
+(Σ k/2^i ≈ k flops). The denominator counts the bytes touched: one COO
+sample plus a read *and* write of both feature vectors.
+
+For k = 128 and 12-byte samples this gives ≈ 0.43 flops/byte; a CPU's
+balance point is ~10, so SGD-based MF is firmly memory-bound — the paper's
+central observation.
+"""
+
+from __future__ import annotations
+
+from repro.data.container import SAMPLE_BYTES
+
+__all__ = [
+    "flops_per_update",
+    "bytes_per_update",
+    "flops_byte_ratio",
+    "FLOPS_PER_UPDATE",
+    "BYTES_PER_UPDATE",
+]
+
+
+def flops_per_update(k: int) -> int:
+    """Floating-point operations in one SGD update (numerator of Eq. 5)."""
+    if k <= 0:
+        raise ValueError(f"feature dimension must be positive, got {k}")
+    reduction = 0
+    step = k
+    while step > 1:
+        step //= 2
+        reduction += step
+    return 6 * k + reduction
+
+
+def bytes_per_update(
+    k: int,
+    sample_bytes: int = SAMPLE_BYTES,
+    feature_bytes: int = 4,
+) -> int:
+    """Bytes moved by one SGD update (denominator of Eq. 5).
+
+    ``feature_bytes`` is ``sizeof(float)`` = 4, or 2 when the feature matrices
+    are stored half-precision (§4), which halves feature traffic: the factor
+    4 in ``4k`` counts read+write of both p_u and q_v.
+    """
+    if k <= 0:
+        raise ValueError(f"feature dimension must be positive, got {k}")
+    return sample_bytes + 4 * k * feature_bytes
+
+
+def flops_byte_ratio(
+    k: int,
+    sample_bytes: int = SAMPLE_BYTES,
+    feature_bytes: int = 4,
+) -> float:
+    """Eq. 5: arithmetic intensity of one SGD update."""
+    return flops_per_update(k) / bytes_per_update(k, sample_bytes, feature_bytes)
+
+
+#: Paper reference point: k = 128, fp32 features.
+FLOPS_PER_UPDATE = flops_per_update(128)
+BYTES_PER_UPDATE = bytes_per_update(128)

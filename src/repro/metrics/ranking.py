@@ -1,0 +1,75 @@
+"""Top-N ranking metrics for the recommender use-case (§1's motivation).
+
+The paper evaluates with RMSE; downstream recommenders care about ranking.
+This module provides the standard top-N metrics — hit rate, precision,
+recall, and NDCG — computed from score arrays, plus a helper that ranks
+items for a user while excluding already-rated ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["top_n", "hit_rate", "precision_at_n", "recall_at_n", "ndcg_at_n"]
+
+
+def top_n(
+    scores: np.ndarray, n: int, exclude: np.ndarray | None = None
+) -> np.ndarray:
+    """Indices of the ``n`` highest-scoring items, skipping ``exclude``.
+
+    Deterministic: ties break toward the lower index.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1:
+        raise ValueError("scores must be 1-D")
+    if exclude is not None and len(exclude):
+        scores = scores.copy()
+        scores[np.asarray(exclude)] = -np.inf
+    order = np.argsort(-scores, kind="stable")
+    valid = order[np.isfinite(scores[order])]
+    return valid[:n]
+
+
+def _validate(recommended: np.ndarray, relevant: np.ndarray) -> tuple[np.ndarray, set]:
+    recommended = np.asarray(recommended)
+    rel = set(np.asarray(relevant).tolist())
+    if len(recommended) == 0:
+        raise ValueError("recommended list is empty")
+    if len(rel) == 0:
+        raise ValueError("relevant set is empty")
+    return recommended, rel
+
+
+def hit_rate(recommended: np.ndarray, relevant: np.ndarray) -> float:
+    """1.0 if any recommended item is relevant, else 0.0."""
+    recommended, rel = _validate(recommended, relevant)
+    return 1.0 if any(int(i) in rel for i in recommended) else 0.0
+
+
+def precision_at_n(recommended: np.ndarray, relevant: np.ndarray) -> float:
+    """Fraction of the recommended list that is relevant."""
+    recommended, rel = _validate(recommended, relevant)
+    hits = sum(1 for i in recommended if int(i) in rel)
+    return hits / len(recommended)
+
+
+def recall_at_n(recommended: np.ndarray, relevant: np.ndarray) -> float:
+    """Fraction of the relevant set that was recommended."""
+    recommended, rel = _validate(recommended, relevant)
+    hits = sum(1 for i in recommended if int(i) in rel)
+    return hits / len(rel)
+
+
+def ndcg_at_n(recommended: np.ndarray, relevant: np.ndarray) -> float:
+    """Binary-relevance NDCG of the recommended list."""
+    recommended, rel = _validate(recommended, relevant)
+    gains = np.array([1.0 if int(i) in rel else 0.0 for i in recommended])
+    discounts = 1.0 / np.log2(np.arange(2, len(gains) + 2))
+    dcg = float(gains @ discounts)
+    ideal_hits = min(len(rel), len(gains))
+    idcg = float(discounts[:ideal_hits].sum())
+    # clamp fp summation jitter so a perfect ranking is exactly 1.0
+    return min(1.0, dcg / idcg)

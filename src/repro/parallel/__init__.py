@@ -1,0 +1,13 @@
+"""Real shared-memory parallel executors.
+
+The rest of :mod:`repro.core` *simulates* concurrency deterministically
+(waves with explicit race semantics). This package runs SGD on **actual
+Python threads** racing over shared NumPy arrays — genuine Hogwild!, useful
+to validate that the simulated semantics match reality and as a
+multi-core executor in its own right (NumPy kernels release the GIL).
+"""
+
+from repro.parallel.threads import ThreadedHogwild
+from repro.parallel.wavefront_threads import ThreadedWavefront
+
+__all__ = ["ThreadedHogwild", "ThreadedWavefront"]

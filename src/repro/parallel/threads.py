@@ -1,0 +1,132 @@
+"""Lock-free Hogwild! on real OS threads.
+
+Each worker thread owns a static shard of the (pre-shuffled) sample order —
+the batch-Hogwild! layout of §5.1, with each shard a run of consecutive
+chunks — and applies SGD updates to the *shared* P and Q arrays with no
+locking whatsoever. Races happen for real: concurrent threads may read
+stale vectors and overwrite each other's rows, which is exactly what the
+paper (and Hogwild! [44]) argue is tolerable while ``s ≪ min(m, n)``.
+
+Within a thread, updates are executed through the serial-equivalent batched
+kernel so the heavy lifting runs inside NumPy (which releases the GIL,
+giving true multi-core execution).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.core.kernels import sgd_serial_update
+from repro.core.lr_schedule import LearningRateSchedule, NomadSchedule
+from repro.core.model import FactorModel
+from repro.core.trainer import TrainHistory
+from repro.data.container import RatingMatrix
+from repro.metrics.rmse import rmse
+
+__all__ = ["ThreadedHogwild"]
+
+
+class ThreadedHogwild:
+    """Hogwild! SGD executor over ``n_threads`` OS threads.
+
+    Non-deterministic by nature (real races); use the deterministic
+    simulators for reproducibility-sensitive experiments.
+    """
+
+    def __init__(
+        self,
+        k: int = 32,
+        n_threads: int = 4,
+        lam: float = 0.05,
+        schedule: LearningRateSchedule | None = None,
+        seed: int = 0,
+        intra_batch: int = 64,
+        scale_factor: float = 1.0,
+    ) -> None:
+        if k <= 0 or n_threads <= 0 or intra_batch <= 0:
+            raise ValueError("k, n_threads, intra_batch must be positive")
+        self.k = k
+        self.n_threads = n_threads
+        self.lam = lam
+        self.schedule = schedule or NomadSchedule()
+        self.seed = seed
+        self.intra_batch = intra_batch
+        self.scale_factor = scale_factor
+        self.model: FactorModel | None = None
+        self.history: TrainHistory | None = None
+        #: number of updates each thread performed in the last epoch
+        self.thread_updates: list[int] = []
+
+    # ------------------------------------------------------------------
+    def _epoch(
+        self,
+        model: FactorModel,
+        train: RatingMatrix,
+        order: np.ndarray,
+        lr: float,
+    ) -> int:
+        shards = np.array_split(order, self.n_threads)
+        counts = [0] * self.n_threads
+        errors: list[BaseException] = []
+
+        def work(tid: int, idx: np.ndarray) -> None:
+            try:
+                rows, cols, vals = train.rows, train.cols, train.vals
+                for lo in range(0, len(idx), self.intra_batch):
+                    sel = idx[lo : lo + self.intra_batch]
+                    sgd_serial_update(
+                        model.p, model.q, rows[sel], cols[sel], vals[sel],
+                        lr, self.lam,
+                    )
+                    counts[tid] += len(sel)
+            except BaseException as exc:  # pragma: no cover - defensive
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(tid, shard), name=f"hogwild-{tid}")
+            for tid, shard in enumerate(shards)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:  # pragma: no cover - defensive
+            raise errors[0]
+        self.thread_updates = counts
+        return sum(counts)
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        train: RatingMatrix,
+        epochs: int = 10,
+        test: RatingMatrix | None = None,
+        target_rmse: float | None = None,
+    ) -> TrainHistory:
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        rng = np.random.default_rng(self.seed)
+        self.model = FactorModel.initialize(
+            train.n_rows, train.n_cols, self.k, seed=self.seed, scale_factor=self.scale_factor
+        )
+        order = rng.permutation(train.nnz)
+        history = TrainHistory()
+        for epoch in range(epochs):
+            rng.shuffle(order)
+            lr = self.schedule(epoch)
+            n = self._epoch(self.model, train, order, lr)
+            p, q = self.model.as_float32()
+            te = rmse(p, q, test) if test is not None else None
+            history.record(epoch + 1, lr, n, None, te)
+            if target_rmse is not None and te is not None and te <= target_rmse:
+                break
+        self.history = history
+        return history
+
+    def score(self, ratings: RatingMatrix) -> float:
+        if self.model is None:
+            raise RuntimeError("fit() first")
+        p, q = self.model.as_float32()
+        return rmse(p, q, ratings)

@@ -1,0 +1,39 @@
+"""Shared scheduling machinery.
+
+* :mod:`repro.sched.conflict` — the independence predicate of Eq. 6 and
+  collision statistics for waves of concurrent updates.
+* :mod:`repro.sched.table` — LIBMF's global ``a x a`` scheduling table
+  (Fig. 5a), including the O(a²) scan cost the paper measures.
+* :mod:`repro.sched.column_lock` — the wavefront 1-D column-lock array
+  (Fig. 6) that replaces the 2-D table.
+* :mod:`repro.sched.ordering` — feasible block-update-order enumeration,
+  reproducing the 8-of-24 example of Fig. 15.
+"""
+
+from repro.sched.column_lock import ColumnLockArray
+from repro.sched.conflict import (
+    collision_fraction,
+    count_conflicts,
+    expected_collision_fraction,
+    independent,
+    wave_is_conflict_free,
+)
+from repro.sched.ordering import (
+    count_feasible_orders,
+    enumerate_feasible_orders,
+    feasible_order_fraction,
+)
+from repro.sched.table import GlobalScheduleTable
+
+__all__ = [
+    "independent",
+    "count_conflicts",
+    "collision_fraction",
+    "expected_collision_fraction",
+    "wave_is_conflict_free",
+    "GlobalScheduleTable",
+    "ColumnLockArray",
+    "enumerate_feasible_orders",
+    "count_feasible_orders",
+    "feasible_order_fraction",
+]

@@ -1,0 +1,86 @@
+"""Wavefront column-lock array (Fig. 6).
+
+The wavefront scheme replaces LIBMF's 2-D global table with a 1-D array of
+per-column locks. Each parallel worker owns one *row* of the block grid
+permanently, so only columns need arbitration: before moving to the next
+block in its private column permutation, a worker checks (and atomically
+claims) exactly one entry of this array — an O(1) local lookup instead of an
+O(a²) global scan.
+
+The implementation is deliberately explicit about the two operations a GPU
+worker performs — ``try_acquire`` (atomicCAS on the column flag) and
+``release`` (store) — and counts both, so the contention model can charge
+their cost.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["ColumnLockArray"]
+
+
+class ColumnLockArray:
+    """Array of per-column locks with owner tracking.
+
+    Thread-safe: ``try_acquire`` / ``release`` may be called from real Python
+    threads (the threaded executor uses this) as well as from the
+    deterministic simulator.
+    """
+
+    def __init__(self, n_columns: int) -> None:
+        if n_columns <= 0:
+            raise ValueError(f"n_columns must be positive, got {n_columns}")
+        self.n_columns = n_columns
+        self._owner = np.full(n_columns, -1, dtype=np.int64)
+        self._mutex = threading.Lock()
+        #: total acquire attempts (successful or not) — contention proxy
+        self.attempts = 0
+        #: failed acquire attempts (the wait events of Fig. 6)
+        self.contended = 0
+
+    def try_acquire(self, column: int, worker: int) -> bool:
+        """Atomically claim ``column`` for ``worker``; False when held.
+
+        Equivalent to ``atomicCAS(&lock[column], FREE, worker)`` on the GPU.
+        """
+        self._check(column, worker)
+        with self._mutex:
+            self.attempts += 1
+            if self._owner[column] != -1:
+                self.contended += 1
+                return False
+            self._owner[column] = worker
+            return True
+
+    def release(self, column: int, worker: int) -> None:
+        """Release a column previously acquired by the same worker."""
+        self._check(column, worker)
+        with self._mutex:
+            if self._owner[column] != worker:
+                raise RuntimeError(
+                    f"worker {worker} releasing column {column} owned by "
+                    f"{int(self._owner[column])}"
+                )
+            self._owner[column] = -1
+
+    def owner(self, column: int) -> int:
+        """Current owner of the column, or -1 when free."""
+        if not 0 <= column < self.n_columns:
+            raise IndexError(f"column {column} outside [0, {self.n_columns})")
+        return int(self._owner[column])
+
+    def held_columns(self) -> np.ndarray:
+        """Indices of currently held columns."""
+        return np.nonzero(self._owner >= 0)[0]
+
+    def all_free(self) -> bool:
+        return bool((self._owner == -1).all())
+
+    def _check(self, column: int, worker: int) -> None:
+        if not 0 <= column < self.n_columns:
+            raise IndexError(f"column {column} outside [0, {self.n_columns})")
+        if worker < 0:
+            raise ValueError(f"worker id must be non-negative, got {worker}")

@@ -1,0 +1,55 @@
+"""Shared fixtures: small synthetic problems and models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import FactorModel
+from repro.data.container import RatingMatrix
+from repro.data.synthetic import DatasetSpec, make_synthetic
+
+
+@pytest.fixture(scope="session")
+def tiny_spec() -> DatasetSpec:
+    return DatasetSpec(name="tiny", m=300, n=200, k=8, n_train=15_000, n_test=1_500)
+
+
+@pytest.fixture(scope="session")
+def tiny_problem(tiny_spec):
+    return make_synthetic(tiny_spec, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_spec() -> DatasetSpec:
+    return DatasetSpec(name="small", m=800, n=500, k=16, n_train=60_000, n_test=5_000)
+
+
+@pytest.fixture(scope="session")
+def small_problem(small_spec):
+    return make_synthetic(small_spec, seed=7)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(123)
+
+
+@pytest.fixture
+def tiny_ratings(rng) -> RatingMatrix:
+    """A handmade 10x8 rating matrix with 30 unique samples."""
+    total = 10 * 8
+    keys = rng.choice(total, size=30, replace=False)
+    return RatingMatrix(
+        rows=(keys // 8).astype(np.int32),
+        cols=(keys % 8).astype(np.int32),
+        vals=rng.normal(size=30).astype(np.float32),
+        n_rows=10,
+        n_cols=8,
+        name="handmade",
+    )
+
+
+@pytest.fixture
+def fresh_model() -> FactorModel:
+    return FactorModel.initialize(m=50, n=40, k=8, seed=1)

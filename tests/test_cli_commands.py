@@ -1,0 +1,60 @@
+"""Tests for the train/plan/throughput CLI subcommands."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestPlanCommand:
+    def test_plan_netflix(self, capsys):
+        assert main(["plan", "netflix"]) == 0
+        out = capsys.readouterr().out
+        assert "netflix" in out and "workers" in out
+
+    def test_plan_multi_device(self, capsys):
+        assert main(["plan", "yahoo", "--gpu", "pascal", "--devices", "2"]) == 0
+        assert "2x Pascal" in capsys.readouterr().out
+
+    def test_plan_unknown_dataset(self, capsys):
+        assert main(["plan", "imdb"]) == 2
+        assert "unknown data set" in capsys.readouterr().err
+
+    def test_plan_fp32_slower(self, capsys):
+        main(["plan", "netflix"])
+        half = capsys.readouterr().out
+        main(["plan", "netflix", "--fp32"])
+        full = capsys.readouterr().out
+        t_half = float(half.split(",")[-1].split("s/epoch")[0])
+        t_full = float(full.split(",")[-1].split("s/epoch")[0])
+        assert t_full > t_half
+
+
+class TestThroughputCommand:
+    def test_default(self, capsys):
+        assert main(["throughput"]) == 0
+        assert "M updates/s" in capsys.readouterr().out
+
+    def test_scheme_and_workers(self, capsys):
+        assert main(["throughput", "--scheme", "libmf_gpu", "--workers", "240"]) == 0
+        assert "LIBMF-GPU" in capsys.readouterr().out
+
+    def test_unknown_dataset(self, capsys):
+        assert main(["throughput", "--dataset", "imdb"]) == 2
+
+
+class TestTrainCommand:
+    def test_unknown_dataset(self, capsys):
+        assert main(["train", "imdb"]) == 2
+        assert "unknown data set" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_train_netflix_syn_short(self, capsys, tmp_path):
+        ck = tmp_path / "model"
+        code = main([
+            "train", "netflix-syn", "--epochs", "2", "--workers", "32",
+            "--k", "8", "--save", str(ck),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "final test RMSE" in out
+        assert (tmp_path / "model.npz").exists()

@@ -1,0 +1,148 @@
+"""Unit tests for repro.data.container.RatingMatrix."""
+
+import numpy as np
+import pytest
+
+from repro.data.container import SAMPLE_BYTES, RatingMatrix
+
+
+def _mk(rows, cols, vals, m=10, n=8, **kw):
+    return RatingMatrix(
+        np.asarray(rows), np.asarray(cols), np.asarray(vals), m, n, **kw
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self, tiny_ratings):
+        assert tiny_ratings.nnz == 30
+        assert tiny_ratings.shape == (10, 8)
+        assert len(tiny_ratings) == 30
+        assert tiny_ratings.density == pytest.approx(30 / 80)
+
+    def test_dtype_coercion(self):
+        r = _mk([0, 1], [0, 1], [1.0, 2.0])
+        assert r.rows.dtype == np.int32
+        assert r.cols.dtype == np.int32
+        assert r.vals.dtype == np.float32
+
+    def test_sample_bytes_constant_matches_coo_layout(self):
+        # 2 int32 + 1 float32 = 12 bytes, the Eq. 5 denominator term
+        assert SAMPLE_BYTES == 12
+
+    def test_nbytes(self, tiny_ratings):
+        assert tiny_ratings.nbytes == 30 * 12
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="disagree in length"):
+            _mk([0, 1], [0], [1.0, 2.0])
+
+    def test_out_of_range_row_rejected(self):
+        with pytest.raises(ValueError, match="row index"):
+            _mk([10], [0], [1.0])
+
+    def test_negative_col_rejected(self):
+        with pytest.raises(ValueError, match="col index"):
+            _mk([0], [-1], [1.0])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError, match="invalid shape"):
+            RatingMatrix(np.array([]), np.array([]), np.array([]), 0, 5)
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            RatingMatrix(np.zeros((2, 2)), np.zeros(4), np.zeros(4), 5, 5)
+
+    def test_empty_matrix_allowed(self):
+        r = _mk([], [], [])
+        assert r.nnz == 0
+        assert r.density == 0.0
+
+
+class TestDenseRoundTrip:
+    def test_from_dense_nan_is_unobserved(self):
+        dense = np.full((3, 3), np.nan, dtype=np.float32)
+        dense[0, 1] = 2.5
+        dense[2, 2] = -1.0
+        r = RatingMatrix.from_dense(dense)
+        assert r.nnz == 2
+        assert r.shape == (3, 3)
+
+    def test_round_trip(self, tiny_ratings):
+        back = RatingMatrix.from_dense(tiny_ratings.to_dense())
+        assert back.nnz == tiny_ratings.nnz
+        orig = sorted(zip(tiny_ratings.rows, tiny_ratings.cols, tiny_ratings.vals))
+        rt = sorted(zip(back.rows, back.cols, back.vals))
+        assert orig == rt
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            RatingMatrix.from_dense(np.zeros(5))
+
+
+class TestSelection:
+    def test_take_preserves_shape(self, tiny_ratings):
+        sub = tiny_ratings.take(np.arange(5))
+        assert sub.nnz == 5
+        assert sub.shape == tiny_ratings.shape
+
+    def test_shuffled_is_permutation(self, tiny_ratings, rng):
+        shuf = tiny_ratings.shuffled(rng)
+        assert shuf.nnz == tiny_ratings.nnz
+        assert sorted(zip(shuf.rows, shuf.cols)) == sorted(
+            zip(tiny_ratings.rows, tiny_ratings.cols)
+        )
+
+    def test_copy_is_independent(self, tiny_ratings):
+        c = tiny_ratings.copy()
+        c.vals[0] = 99.0
+        assert tiny_ratings.vals[0] != 99.0
+
+    def test_block_slice(self, tiny_ratings):
+        idx = tiny_ratings.block_slice(0, 5, 0, 4)
+        assert np.all(tiny_ratings.rows[idx] < 5)
+        assert np.all(tiny_ratings.cols[idx] < 4)
+        # complement covers everything
+        rest = tiny_ratings.block_slice(5, 10, 0, 8)
+        rest2 = tiny_ratings.block_slice(0, 5, 4, 8)
+        assert len(idx) + len(rest) + len(rest2) == tiny_ratings.nnz
+
+    def test_batches_cover_all(self, tiny_ratings):
+        total = sum(len(v) for _, _, v in tiny_ratings.batches(7))
+        assert total == tiny_ratings.nnz
+
+    def test_batches_rejects_nonpositive(self, tiny_ratings):
+        with pytest.raises(ValueError):
+            list(tiny_ratings.batches(0))
+
+    def test_sorted_by_block_groups_contiguously(self, tiny_ratings):
+        row_edges = np.array([0, 5, 10])
+        col_edges = np.array([0, 4, 8])
+        s = tiny_ratings.sorted_by_block(row_edges, col_edges)
+        bi = np.searchsorted(row_edges, s.rows, side="right") - 1
+        bj = np.searchsorted(col_edges, s.cols, side="right") - 1
+        flat = bi * 2 + bj
+        assert np.all(np.diff(flat) >= 0)
+
+
+class TestStatistics:
+    def test_row_counts_sum(self, tiny_ratings):
+        assert tiny_ratings.row_counts().sum() == tiny_ratings.nnz
+        assert len(tiny_ratings.row_counts()) == 10
+
+    def test_col_counts_sum(self, tiny_ratings):
+        assert tiny_ratings.col_counts().sum() == tiny_ratings.nnz
+        assert len(tiny_ratings.col_counts()) == 8
+
+    def test_mean_rating(self):
+        r = _mk([0, 1, 2], [0, 1, 2], [1.0, 2.0, 3.0])
+        assert r.mean_rating() == pytest.approx(2.0)
+
+    def test_mean_of_empty_is_zero(self):
+        assert _mk([], [], []).mean_rating() == 0.0
+
+    def test_validate_disjoint(self):
+        a = _mk([0, 1], [0, 1], [1.0, 1.0])
+        b = _mk([2, 3], [2, 3], [1.0, 1.0])
+        c = _mk([0, 5], [0, 5], [1.0, 1.0])
+        assert a.validate_disjoint(b)
+        assert not a.validate_disjoint(c)

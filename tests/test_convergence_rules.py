@@ -1,0 +1,89 @@
+"""Tests for repro.core.convergence — the §7.5 safety rules."""
+
+import pytest
+
+from repro.core.convergence import (
+    SAFETY_FACTOR,
+    check_parallelism,
+    hogwild_safety_bound,
+    is_safe_parallelism,
+    max_safe_partitions,
+)
+
+
+class TestBound:
+    def test_single_device(self):
+        assert hogwild_safety_bound(4000, 2000) == 2000 / SAFETY_FACTOR
+
+    def test_partitioned(self):
+        assert hogwild_safety_bound(4000, 2000, i=2, j=4) == 500 / SAFETY_FACTOR
+
+    def test_paper_hugewiki_calibration(self):
+        """The paper's exact numbers: Hugewiki n=39781, s=768, i=64:
+        j<=2 converges, j=4 fails."""
+        m, n, s, i = 50_082_604, 39_781, 768, 64
+        assert is_safe_parallelism(s, m, n, i, 2)
+        assert not is_safe_parallelism(s, m, n, i, 4)
+
+    def test_row_dimension_can_bind(self):
+        assert hogwild_safety_bound(100, 10_000) == 100 / SAFETY_FACTOR
+
+    @pytest.mark.parametrize("bad", [
+        dict(m=0, n=10), dict(m=10, n=0), dict(m=10, n=10, i=0),
+        dict(m=10, n=10, j=0),
+    ])
+    def test_invalid_dims(self, bad):
+        kw = dict(m=10, n=10, i=1, j=1)
+        kw.update(bad)
+        with pytest.raises(ValueError):
+            hogwild_safety_bound(**kw)
+
+    def test_partition_exceeding_shape(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            hogwild_safety_bound(10, 10, i=11)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            is_safe_parallelism(0, 100, 100)
+
+
+class TestMaxSafePartitions:
+    def test_paper_style(self):
+        i_max, j_max = max_safe_partitions(768, 50_082_604, 39_781)
+        assert j_max == 2  # the paper's empirical finding
+        assert i_max == 50_082_604 // (20 * 768)
+
+    def test_minimum_one(self):
+        assert max_safe_partitions(1000, 100, 100) == (1, 1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            max_safe_partitions(0, 10, 10)
+
+
+class TestCheckParallelism:
+    def test_structure(self):
+        ck = check_parallelism(16, 4000, 2000)
+        assert ck.s == 16
+        assert ck.block_m == 4000 and ck.block_n == 2000
+        assert ck.safe == (16 < 2000 / SAFETY_FACTOR)
+        assert 0 <= ck.expected_collisions < 1
+
+    def test_unsafe_flagged(self):
+        ck = check_parallelism(500, 1000, 1000)
+        assert not ck.safe
+        assert "UNSAFE" in str(ck)
+
+    def test_safe_flagged(self):
+        ck = check_parallelism(4, 10_000, 10_000)
+        assert ck.safe
+        assert "SAFE" in str(ck)
+
+    def test_collisions_grow_with_partitioning(self):
+        base = check_parallelism(64, 10_000, 2_000, 1, 1)
+        split = check_parallelism(64, 10_000, 2_000, 1, 8)
+        assert split.expected_collisions > base.expected_collisions
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(ValueError, match="empty block"):
+            check_parallelism(4, 5, 10, i=6, j=1)

@@ -1,0 +1,33 @@
+"""Tests for repro.gpusim.cost."""
+
+import pytest
+
+from repro.gpusim.cost import PLATFORM_COSTS, PlatformCost, cost_to_converge
+
+
+class TestPlatformCost:
+    def test_per_hour_sum(self):
+        pc = PlatformCost("x", 1.0, 0.5)
+        assert pc.per_hour == 1.5
+        assert pc.cost(3600) == pytest.approx(1.5)
+        assert pc.cost(0) == 0.0
+
+    def test_negative_seconds(self):
+        with pytest.raises(ValueError):
+            PLATFORM_COSTS["maxwell-gpu"].cost(-1)
+
+    def test_cluster_costs_dominate(self):
+        hour = 3600
+        assert cost_to_converge("hpc-cluster-64", hour) > cost_to_converge(
+            "hpc-cluster-32", hour
+        ) > cost_to_converge("cpu-server", hour) > cost_to_converge(
+            "maxwell-gpu", hour
+        )
+
+    def test_unknown_platform(self):
+        with pytest.raises(KeyError, match="unknown platform"):
+            cost_to_converge("tpu-pod", 10)
+
+    def test_registry_complete(self):
+        assert {"maxwell-gpu", "pascal-gpu", "cpu-server",
+                "hpc-cluster-32", "hpc-cluster-64"} == set(PLATFORM_COSTS)

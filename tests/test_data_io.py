@@ -1,0 +1,104 @@
+"""Tests for repro.data.io, repro.data.split, repro.data.shuffle."""
+
+import numpy as np
+import pytest
+
+from repro.data.container import RatingMatrix
+from repro.data.io import COO_DTYPE, from_records, load_coo, save_coo, to_records
+from repro.data.shuffle import (
+    invert_permutation,
+    make_permutation,
+    model_shuffle,
+    random_shuffle,
+)
+from repro.data.split import train_test_split
+
+
+class TestIO:
+    def test_record_dtype_is_12_bytes(self):
+        assert COO_DTYPE.itemsize == 12
+
+    def test_records_round_trip(self, tiny_ratings):
+        rec = to_records(tiny_ratings)
+        back = from_records(rec, *tiny_ratings.shape)
+        assert np.array_equal(back.rows, tiny_ratings.rows)
+        assert np.array_equal(back.cols, tiny_ratings.cols)
+        assert np.array_equal(back.vals, tiny_ratings.vals)
+
+    def test_from_records_rejects_wrong_dtype(self):
+        with pytest.raises(ValueError, match="expected dtype"):
+            from_records(np.zeros(3, dtype=np.float64), 5, 5)
+
+    def test_file_round_trip(self, tiny_ratings, tmp_path):
+        path = tmp_path / "ratings.npz"
+        save_coo(path, tiny_ratings)
+        back = load_coo(path)
+        assert back.shape == tiny_ratings.shape
+        assert back.name == tiny_ratings.name
+        assert np.array_equal(back.vals, tiny_ratings.vals)
+
+    def test_load_without_suffix(self, tiny_ratings, tmp_path):
+        save_coo(tmp_path / "r.npz", tiny_ratings)
+        back = load_coo(tmp_path / "r")
+        assert back.nnz == tiny_ratings.nnz
+
+
+class TestSplit:
+    def test_sizes(self, tiny_ratings, rng):
+        train, test = train_test_split(tiny_ratings, 0.2, rng)
+        assert test.nnz == round(0.2 * tiny_ratings.nnz)
+        assert train.nnz + test.nnz == tiny_ratings.nnz
+
+    def test_disjoint(self, tiny_ratings, rng):
+        train, test = train_test_split(tiny_ratings, 0.2, rng)
+        assert train.validate_disjoint(test)
+
+    def test_shape_preserved(self, tiny_ratings, rng):
+        train, test = train_test_split(tiny_ratings, 0.2, rng)
+        assert train.shape == test.shape == tiny_ratings.shape
+
+    @pytest.mark.parametrize("frac", [0.0, 1.0, -0.5, 2.0])
+    def test_bad_fraction(self, tiny_ratings, frac):
+        with pytest.raises(ValueError):
+            train_test_split(tiny_ratings, frac)
+
+    def test_degenerate_split_rejected(self):
+        r = RatingMatrix(
+            np.array([0, 1]), np.array([0, 1]), np.array([1.0, 2.0]), 3, 3
+        )
+        with pytest.raises(ValueError, match="empty split"):
+            train_test_split(r, 0.01)
+
+
+class TestShuffle:
+    def test_random_shuffle_is_permutation(self, tiny_ratings):
+        s = random_shuffle(tiny_ratings, seed=1)
+        assert sorted(s.vals) == sorted(tiny_ratings.vals)
+        assert not np.array_equal(s.vals, tiny_ratings.vals)
+
+    def test_random_shuffle_deterministic(self, tiny_ratings):
+        assert np.array_equal(
+            random_shuffle(tiny_ratings, seed=2).vals,
+            random_shuffle(tiny_ratings, seed=2).vals,
+        )
+
+    def test_make_and_invert_permutation(self, rng):
+        perm = make_permutation(20, rng)
+        inv = invert_permutation(perm)
+        assert np.array_equal(perm[inv], np.arange(20))
+        assert np.array_equal(inv[perm], np.arange(20))
+
+    def test_model_shuffle_identity(self, rng):
+        p = rng.normal(size=(6, 3)).astype(np.float32)
+        q = rng.normal(size=(4, 3)).astype(np.float32)
+        p2, q2 = model_shuffle(p, q)
+        assert p2 is p and q2 is q
+
+    def test_model_shuffle_undoes_relabelling(self, rng):
+        p = rng.normal(size=(6, 3)).astype(np.float32)
+        perm = make_permutation(6, rng)
+        relabelled = np.empty_like(p)
+        relabelled[np.arange(6)] = p[perm]  # training stored P under perm ids
+        # model_shuffle with row_perm=perm must bring row u back to slot u
+        restored, _ = model_shuffle(relabelled, p, row_perm=invert_permutation(perm))
+        assert np.allclose(restored[perm], relabelled[np.arange(6)])

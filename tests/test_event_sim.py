@@ -1,0 +1,113 @@
+"""Tests for repro.gpusim.event_sim — and its agreement with the analytic
+contention model."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.contention import ContentionModel, scheduler_throughput
+from repro.gpusim.event_sim import simulate_scheduler
+
+
+class TestMechanics:
+    def test_all_updates_issued(self):
+        res = simulate_scheduler("lockfree", 4, 100, 1e-6, 10_000)
+        assert res.total_updates == 10_000
+        assert res.per_worker_updates.sum() == 10_000
+
+    def test_lockfree_perfect_scaling(self):
+        r1 = simulate_scheduler("lockfree", 1, 100, 1e-6, 100_000)
+        r16 = simulate_scheduler("lockfree", 16, 100, 1e-6, 100_000)
+        assert r1.updates_per_sec == pytest.approx(1e6, rel=0.01)
+        assert r16.updates_per_sec == pytest.approx(16e6, rel=0.05)
+        assert r16.wait_time == 0.0
+
+    def test_lockfree_balanced(self):
+        res = simulate_scheduler("lockfree", 8, 100, 1e-6, 80_000)
+        assert res.per_worker_updates.max() - res.per_worker_updates.min() <= 100
+
+    def test_critical_section_serializes(self):
+        """With t_cs comparable to block time, adding workers stops helping."""
+        kw = dict(updates_per_block=100, update_seconds=1e-6,
+                  epoch_updates=200_000, t_critical=1e-4)
+        r2 = simulate_scheduler("critical", 2, **kw)
+        r64 = simulate_scheduler("critical", 64, **kw)
+        # ceiling: one grant per t_cs -> 100 updates / 1e-4 s = 1e6/s
+        assert r64.updates_per_sec <= 1.1e6
+        assert r64.updates_per_sec < 3 * r2.updates_per_sec
+        assert r64.wait_time > 0
+
+    def test_column_locks_scale_when_plentiful(self):
+        res = simulate_scheduler(
+            "column_locks", 16, 100, 1e-6, 160_000, n_columns=1024
+        )
+        assert res.updates_per_sec > 0.8 * 16e6
+
+    def test_column_locks_contend_when_scarce(self):
+        plenty = simulate_scheduler(
+            "column_locks", 16, 100, 1e-6, 160_000, n_columns=1024, seed=1
+        )
+        scarce = simulate_scheduler(
+            "column_locks", 16, 100, 1e-6, 160_000, n_columns=16, seed=1
+        )
+        assert scarce.updates_per_sec < plenty.updates_per_sec
+        assert scarce.wait_time > plenty.wait_time
+
+    def test_utilization_bounds(self):
+        res = simulate_scheduler("critical", 32, 100, 1e-6, 100_000, t_critical=5e-5)
+        assert 0.0 <= res.utilization <= 1.0
+
+    @pytest.mark.parametrize("kw", [
+        dict(scheme="magic"),
+        dict(workers=0),
+        dict(updates_per_block=0),
+        dict(epoch_updates=0),
+        dict(update_seconds=0.0),
+    ])
+    def test_validation(self, kw):
+        base = dict(scheme="lockfree", workers=2, updates_per_block=10,
+                    update_seconds=1e-6, epoch_updates=100)
+        base.update(kw)
+        with pytest.raises(ValueError):
+            simulate_scheduler(**base)
+
+    def test_column_locks_need_enough_columns(self):
+        with pytest.raises(ValueError, match="n_columns"):
+            simulate_scheduler("column_locks", 8, 10, 1e-6, 100, n_columns=4)
+
+
+class TestAgreementWithAnalyticModel:
+    """The closed-form contention model and the event simulation must tell
+    the same story — this is the cross-validation of the Fig. 5b mechanism."""
+
+    UPB = 200
+    T_UPD = 2e-6
+    T_CS = 1e-4
+
+    def _analytic(self, workers):
+        model = ContentionModel("m", t_critical=self.T_CS)
+        return scheduler_throughput(model, workers, self.UPB, self.T_UPD)
+
+    def _simulated(self, workers):
+        return simulate_scheduler(
+            "critical", workers, self.UPB, self.T_UPD,
+            epoch_updates=400_000, t_critical=self.T_CS,
+        ).updates_per_sec
+
+    @pytest.mark.parametrize("workers", [1, 2, 4, 8])
+    def test_linear_regime_matches(self, workers):
+        assert self._simulated(workers) == pytest.approx(
+            self._analytic(workers), rel=0.10
+        )
+
+    def test_saturated_regime_matches(self):
+        assert self._simulated(64) == pytest.approx(self._analytic(64), rel=0.15)
+
+    def test_knee_location_matches(self):
+        """Both mechanisms put the knee near (t_cs + t_block)/t_cs workers."""
+        model = ContentionModel("m", t_critical=self.T_CS)
+        knee = model.saturation_workers(self.UPB * self.T_UPD)
+        below = self._simulated(max(1, int(knee * 0.5)))
+        above = self._simulated(int(knee * 2))
+        at = self._simulated(int(knee))
+        assert at > 0.75 * above  # saturated by the knee
+        assert below < 0.7 * above  # clearly rising before it

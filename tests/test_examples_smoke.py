@@ -1,0 +1,44 @@
+"""Smoke tests for the example scripts.
+
+Full example runs take tens of seconds each, so by default only the import
+and main-guard structure is checked; set ``RUN_EXAMPLE_SMOKE=1`` to execute
+the two fastest examples end-to-end.
+"""
+
+import ast
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text())
+    names = {node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)}
+    assert "main" in names, f"{path.name} lacks a main()"
+    # a __main__ guard exists
+    assert "__main__" in path.read_text()
+
+
+def test_six_examples_present():
+    assert len(EXAMPLES) >= 6
+    assert any(p.name == "quickstart.py" for p in EXAMPLES)
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    not os.environ.get("RUN_EXAMPLE_SMOKE"),
+    reason="set RUN_EXAMPLE_SMOKE=1 to execute examples end-to-end",
+)
+@pytest.mark.parametrize("name", ["quickstart.py", "scaling_study.py"])
+def test_example_executes(name):
+    path = Path(__file__).parent.parent / "examples" / name
+    proc = subprocess.run(
+        [sys.executable, str(path)], capture_output=True, text=True, timeout=600
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]

@@ -1,0 +1,133 @@
+"""Tests for the extension features: ADAGRAD cuMF_SGD (the paper's stated
+future work) and the real-threads Hogwild executor."""
+
+import numpy as np
+import pytest
+
+from repro.core.adagrad import AdaGradHogwild
+from repro.core.lr_schedule import AdaGradSchedule
+from repro.core.model import FactorModel
+from repro.core.trainer import CuMFSGD
+from repro.parallel.threads import ThreadedHogwild
+
+
+class TestAdaGradHogwild:
+    def test_epoch_processes_all_samples(self, tiny_problem):
+        exe = AdaGradHogwild(workers=16, f=32, seed=0, schedule=AdaGradSchedule(0.1))
+        model = FactorModel.initialize(tiny_problem.spec.m, tiny_problem.spec.n, 8, seed=0)
+        n = exe.run_epoch(model, tiny_problem.train, lr=0.0, lam_p=0.05)
+        assert n == tiny_problem.train.nnz
+
+    def test_accumulators_grow_only_on_touched_rows(self, tiny_problem):
+        sched = AdaGradSchedule(0.1)
+        exe = AdaGradHogwild(workers=16, f=32, seed=0, schedule=sched)
+        model = FactorModel.initialize(tiny_problem.spec.m, tiny_problem.spec.n, 8, seed=0)
+        exe.run_epoch(model, tiny_problem.train, 0.0, 0.05)
+        touched = np.unique(tiny_problem.train.rows)
+        untouched = np.setdiff1d(np.arange(tiny_problem.spec.m), touched)
+        assert float(sched._accum_p[touched].sum()) > 0
+        if len(untouched):
+            assert float(sched._accum_p[untouched].sum()) == 0.0
+
+    def test_converges(self, tiny_problem):
+        exe = AdaGradHogwild(workers=16, f=32, seed=0, schedule=AdaGradSchedule(0.2))
+        model = FactorModel.initialize(tiny_problem.spec.m, tiny_problem.spec.n, 8, seed=0)
+        from repro.metrics.rmse import rmse
+
+        p, q = model.as_float32()
+        before = rmse(p, q, tiny_problem.test)
+        for _ in range(4):
+            exe.run_epoch(model, tiny_problem.train, 0.0, 0.05)
+        p, q = model.as_float32()
+        assert rmse(p, q, tiny_problem.test) < before
+
+    def test_trainer_dispatches_to_adagrad(self, tiny_problem):
+        est = CuMFSGD(k=8, workers=16, schedule=AdaGradSchedule(0.2), seed=1)
+        assert isinstance(est._make_executor(), AdaGradHogwild)
+        hist = est.fit(tiny_problem.train, epochs=4, test=tiny_problem.test)
+        assert hist.test_rmse[-1] < hist.test_rmse[0]
+
+    def test_adagrad_early_progress_strong(self, tiny_problem):
+        """ADAGRAD's adaptive rates give fast first-epoch progress — the
+        faster-convergence motivation the paper cites for BIDMach."""
+        ada = CuMFSGD(k=8, workers=16, schedule=AdaGradSchedule(0.2), seed=1)
+        ha = ada.fit(tiny_problem.train, epochs=2, test=tiny_problem.test)
+        assert ha.test_rmse[0] < 0.75
+
+
+class TestThreadedHogwild:
+    def test_converges_with_real_races(self, tiny_problem):
+        est = ThreadedHogwild(k=8, n_threads=4, lam=0.05, seed=0)
+        hist = est.fit(tiny_problem.train, epochs=4, test=tiny_problem.test)
+        assert hist.test_rmse[-1] < hist.test_rmse[0]
+        assert hist.final_test_rmse < 0.75
+
+    def test_all_threads_participate(self, tiny_problem):
+        est = ThreadedHogwild(k=8, n_threads=4, seed=0)
+        est.fit(tiny_problem.train, epochs=1)
+        assert len(est.thread_updates) == 4
+        assert all(c > 0 for c in est.thread_updates)
+        assert sum(est.thread_updates) == tiny_problem.train.nnz
+
+    def test_single_thread_equivalent_to_serial(self, tiny_problem):
+        est = ThreadedHogwild(k=8, n_threads=1, seed=0)
+        hist = est.fit(tiny_problem.train, epochs=3, test=tiny_problem.test)
+        assert hist.test_rmse[-1] < hist.test_rmse[0]
+
+    def test_score_and_validation(self, tiny_problem):
+        with pytest.raises(ValueError):
+            ThreadedHogwild(n_threads=0)
+        est = ThreadedHogwild(k=8, n_threads=2, seed=0)
+        with pytest.raises(RuntimeError):
+            est.score(tiny_problem.test)
+        est.fit(tiny_problem.train, epochs=1, test=tiny_problem.test)
+        assert est.score(tiny_problem.test) == pytest.approx(
+            est.history.final_test_rmse, rel=1e-5
+        )
+
+    def test_threaded_matches_simulated_convergence(self, tiny_problem):
+        """Real races and simulated races land at comparable RMSE — the
+        justification for the deterministic wave engine."""
+        threaded = ThreadedHogwild(k=8, n_threads=4, lam=0.05, seed=0)
+        ht = threaded.fit(tiny_problem.train, epochs=5, test=tiny_problem.test)
+        simulated = CuMFSGD(k=8, scheme="batch_hogwild", workers=4, lam=0.05, seed=0)
+        hs = simulated.fit(tiny_problem.train, epochs=5, test=tiny_problem.test)
+        assert ht.final_test_rmse == pytest.approx(hs.final_test_rmse, rel=0.05)
+
+
+class TestThreadedWavefront:
+    def test_converges_and_counts(self, tiny_problem):
+        from repro.parallel.wavefront_threads import ThreadedWavefront
+
+        est = ThreadedWavefront(k=8, workers=4, lam=0.05, seed=0)
+        hist = est.fit(tiny_problem.train, epochs=4, test=tiny_problem.test)
+        assert hist.test_rmse[-1] < hist.test_rmse[0]
+        assert hist.updates == [tiny_problem.train.nnz] * 4
+        assert est.locks is not None and est.locks.all_free()
+
+    def test_contention_happens_on_tight_grid(self, tiny_problem):
+        from repro.parallel.wavefront_threads import ThreadedWavefront
+
+        est = ThreadedWavefront(k=8, workers=6, col_blocks=6, seed=0)
+        est.fit(tiny_problem.train, epochs=1)
+        assert est.locks.attempts >= 6 * 6  # every (worker, column) acquire
+
+    def test_matches_simulated_wavefront_quality(self, tiny_problem):
+        import pytest
+
+        from repro.core.trainer import CuMFSGD
+        from repro.parallel.wavefront_threads import ThreadedWavefront
+
+        threaded = ThreadedWavefront(k=8, workers=4, lam=0.05, seed=0)
+        ht = threaded.fit(tiny_problem.train, epochs=4, test=tiny_problem.test)
+        simulated = CuMFSGD(k=8, scheme="wavefront", workers=4, lam=0.05, seed=0)
+        hs = simulated.fit(tiny_problem.train, epochs=4, test=tiny_problem.test)
+        assert ht.final_test_rmse == pytest.approx(hs.final_test_rmse, rel=0.05)
+
+    def test_validation(self):
+        import pytest
+
+        from repro.parallel.wavefront_threads import ThreadedWavefront
+
+        with pytest.raises(ValueError):
+            ThreadedWavefront(workers=0)

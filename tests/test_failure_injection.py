@@ -1,0 +1,106 @@
+"""Failure-injection tests: corrupted inputs and pathological data must
+produce clean, diagnosable errors — not silent garbage."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.diagnostics import detect_divergence
+from repro.core.checkpoint import load_model, save_model
+from repro.core.lr_schedule import ConstantSchedule
+from repro.core.trainer import CuMFSGD
+from repro.data.container import RatingMatrix
+from repro.data.io import load_coo, save_coo
+
+
+class TestCorruptedFiles:
+    def test_truncated_checkpoint(self, tmp_path, fresh_model):
+        path = save_model(tmp_path / "ck", fresh_model)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(Exception):
+            load_model(path)
+
+    def test_checkpoint_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(tmp_path / "nope.npz")
+
+    def test_checkpoint_future_version(self, tmp_path, fresh_model):
+        path = save_model(tmp_path / "ck", fresh_model)
+        with np.load(path) as z:
+            data = dict(z)
+        data["version"] = np.int64(99)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="format 99"):
+            load_model(path)
+
+    def test_coo_wrong_contents(self, tmp_path):
+        np.savez_compressed(tmp_path / "bogus.npz", junk=np.arange(3))
+        with pytest.raises(KeyError):
+            load_coo(tmp_path / "bogus.npz")
+
+    def test_coo_out_of_range_indices_rejected_on_load(self, tmp_path, tiny_ratings):
+        save_coo(tmp_path / "r.npz", tiny_ratings)
+        with np.load(tmp_path / "r.npz") as z:
+            data = dict(z)
+        data["shape"] = np.array([2, 2], dtype=np.int64)  # lie about the shape
+        np.savez_compressed(tmp_path / "r.npz", **data)
+        with pytest.raises(ValueError, match="index"):
+            load_coo(tmp_path / "r.npz")
+
+
+class TestPathologicalData:
+    def _ratings_with(self, vals):
+        n = len(vals)
+        return RatingMatrix(
+            np.arange(n, dtype=np.int32),
+            np.arange(n, dtype=np.int32),
+            np.asarray(vals, dtype=np.float32),
+            n,
+            n,
+        )
+
+    def test_nan_ratings_surface_as_divergence(self):
+        bad = self._ratings_with([1.0, float("nan"), 2.0] + [0.5] * 20)
+        est = CuMFSGD(k=4, workers=4, seed=0)
+        hist = est.fit(bad, epochs=2, test=bad)
+        assert hist.diverged
+        assert detect_divergence(hist) == "diverging"
+
+    def test_huge_learning_rate_diverges_and_is_detected(self, tiny_problem):
+        est = CuMFSGD(k=8, workers=32, lam=0.0,
+                      schedule=ConstantSchedule(50.0), seed=0)
+        hist = est.fit(tiny_problem.train, epochs=3, test=tiny_problem.test)
+        assert hist.diverged
+
+    def test_single_sample_matrix_trains(self):
+        one = self._ratings_with([1.5])
+        est = CuMFSGD(k=2, workers=1, seed=0)
+        hist = est.fit(one, epochs=2, test=one)
+        assert len(hist.test_rmse) == 2
+        assert np.isfinite(hist.test_rmse[-1])
+
+    def test_constant_ratings_fit_exactly(self):
+        flat = self._ratings_with([1.0] * 30)
+        est = CuMFSGD(k=4, workers=4, lam=0.0,
+                      schedule=ConstantSchedule(0.2), seed=0)
+        hist = est.fit(flat, epochs=40, test=flat)
+        assert hist.final_test_rmse < 0.1
+
+    def test_extreme_rating_scale_with_fp16_stays_finite(self):
+        """fp16 storage saturates near 65k; parameter scaling (here: the
+        model's own 1/sqrt(k) init plus a modest lr) must keep training
+        finite for moderate scales."""
+        vals = np.full(50, 100.0, dtype=np.float32)
+        r = RatingMatrix(
+            np.arange(50, dtype=np.int32) % 10,
+            np.arange(50, dtype=np.int32) % 7,
+            vals, 10, 7,
+        )
+        # deduplicate coordinates
+        keys = r.rows.astype(np.int64) * 7 + r.cols
+        _, first = np.unique(keys, return_index=True)
+        r = r.take(first)
+        est = CuMFSGD(k=4, workers=4, half_precision=True,
+                      schedule=ConstantSchedule(0.001), seed=0)
+        hist = est.fit(r, epochs=3, test=r)
+        assert np.isfinite(hist.test_rmse[-1])

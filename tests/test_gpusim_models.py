@@ -1,0 +1,255 @@
+"""Tests for repro.gpusim: memory, contention, interconnect, streams,
+simulator."""
+
+import pytest
+
+from repro.core.partition import GridPartition
+from repro.data.synthetic import PAPER_DATASETS, DatasetSpec
+from repro.gpusim.contention import ContentionModel, scheduler_throughput
+from repro.gpusim.interconnect import TransferModel
+from repro.gpusim.memory import CacheModel, libmf_dram_bytes_per_update
+from repro.gpusim.simulator import (
+    cumf_throughput,
+    dataset_fits_gpu,
+    epoch_seconds,
+    libmf_cpu_throughput,
+    multi_gpu_epoch_seconds,
+    scaling_curve,
+    staged_epoch_seconds,
+)
+from repro.gpusim.specs import (
+    MAXWELL_TITAN_X,
+    PASCAL_P100,
+    PCIE3_X16,
+    XEON_E5_2670_DUAL,
+)
+from repro.gpusim.streams import (
+    PipelineResult,
+    StagedBlock,
+    StreamPipeline,
+    simulate_epoch_staging,
+)
+
+NETFLIX = PAPER_DATASETS["netflix"]
+YAHOO = PAPER_DATASETS["yahoo"]
+HUGEWIKI = PAPER_DATASETS["hugewiki"]
+
+
+class TestCacheModel:
+    def test_netflix_hugewiki_ordering(self):
+        """Fig. 2a: effective bandwidth drops for the large data set, i.e.
+        DRAM bytes per update rise."""
+        nf = libmf_dram_bytes_per_update(NETFLIX, XEON_E5_2670_DUAL)
+        hw = libmf_dram_bytes_per_update(HUGEWIKI, XEON_E5_2670_DUAL)
+        assert hw.dram_bytes_per_update > nf.dram_bytes_per_update
+
+    def test_amplification_above_one_when_cache_helps(self):
+        nf = libmf_dram_bytes_per_update(NETFLIX, XEON_E5_2670_DUAL)
+        assert nf.amplification > 1.0
+
+    def test_hugewiki_p_misses_everything(self):
+        hw = libmf_dram_bytes_per_update(HUGEWIKI, XEON_E5_2670_DUAL)
+        assert hw.miss_p == pytest.approx(1.0)
+        assert hw.miss_q < 0.1  # Q fits: n is small
+
+    def test_processed_bytes_constant(self):
+        nf = libmf_dram_bytes_per_update(NETFLIX, XEON_E5_2670_DUAL)
+        assert nf.processed_bytes_per_update == 12 + 4 * 128 * 4
+
+    def test_miss_rates_in_unit_interval(self):
+        for spec in (NETFLIX, YAHOO, HUGEWIKI):
+            cm = libmf_dram_bytes_per_update(spec, XEON_E5_2670_DUAL)
+            assert 0.0 <= cm.miss_p <= 1.0
+            assert 0.0 <= cm.miss_q <= 1.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            libmf_dram_bytes_per_update(NETFLIX, XEON_E5_2670_DUAL, a=0)
+
+
+class TestContention:
+    def test_lock_free_scales_linearly(self):
+        model = ContentionModel("free", t_critical=0.0)
+        r1 = scheduler_throughput(model, 1, 100, 1e-6)
+        r64 = scheduler_throughput(model, 64, 100, 1e-6)
+        assert r64 == pytest.approx(64 * r1)
+
+    def test_critical_section_caps_grant_rate(self):
+        model = ContentionModel("table", t_critical=1e-4)
+        capped = scheduler_throughput(model, 10_000, 100, 1e-6)
+        assert capped == pytest.approx(100 / 1e-4, rel=0.01)
+
+    def test_saturation_workers(self):
+        model = ContentionModel("table", t_critical=1e-4)
+        w_star = model.saturation_workers(t_block=2.9e-3)
+        assert w_star == pytest.approx(30, rel=0.05)
+        assert ContentionModel("free", 0.0).saturation_workers(1.0) == float("inf")
+
+    def test_bandwidth_cap_applies(self):
+        model = ContentionModel("free", t_critical=0.0)
+        assert scheduler_throughput(model, 64, 100, 1e-6, bandwidth_updates_cap=5e6) == 5e6
+
+    def test_invalid(self):
+        model = ContentionModel("x", 0.0)
+        with pytest.raises(ValueError):
+            scheduler_throughput(model, 0, 100, 1e-6)
+        with pytest.raises(ValueError):
+            scheduler_throughput(model, 1, 0, 1e-6)
+
+
+class TestTransferModel:
+    def test_segment_accounting(self, tiny_problem):
+        part = GridPartition(tiny_problem.train, 2, 2)
+        tm = TransferModel(PCIE3_X16, k=8, feature_bytes=2)
+        view = part.block(0, 1)
+        assert tm.h2d_bytes(view) == view.coo_bytes() + view.feature_bytes(8, 2)
+        assert tm.d2h_bytes(view) == view.feature_bytes(8, 2)
+        assert tm.round_trip_seconds(view) == pytest.approx(
+            tm.h2d_seconds(view) + tm.d2h_seconds(view)
+        )
+
+    def test_shape_based(self):
+        tm = TransferModel(PCIE3_X16, k=128, feature_bytes=2)
+        t = tm.shape_h2d_seconds(1000, 100, 50)
+        expected_bytes = 1000 * 12 + 150 * 128 * 2
+        assert t == pytest.approx(PCIE3_X16.transfer_seconds(expected_bytes))
+
+
+class TestStreams:
+    def test_single_block(self):
+        res = StreamPipeline().simulate([StagedBlock(1.0, 2.0, 0.5)])
+        assert res.makespan == pytest.approx(3.5)
+        assert res.compute_utilization == pytest.approx(2.0 / 3.5)
+        assert res.exposed_transfer == pytest.approx(1.5)
+
+    def test_transfer_hidden_under_compute(self):
+        """Long compute hides later H2Ds: N blocks of (t, C, t) with C >> t."""
+        blocks = [StagedBlock(0.1, 1.0, 0.1) for _ in range(10)]
+        res = StreamPipeline(depth=2).simulate(blocks)
+        # first H2D exposed + 10 computes + last D2H
+        assert res.makespan == pytest.approx(0.1 + 10.0 + 0.1, abs=1e-9)
+        assert res.compute_utilization > 0.95
+
+    def test_transfer_bound_pipeline(self):
+        blocks = [StagedBlock(1.0, 0.1, 0.0) for _ in range(10)]
+        res = StreamPipeline(depth=2).simulate(blocks)
+        assert res.makespan == pytest.approx(10.0 + 0.1, abs=1e-9)
+
+    def test_depth_one_serializes(self):
+        """depth=1: block b+1's H2D waits for block b's D2H."""
+        blocks = [StagedBlock(1.0, 1.0, 1.0) for _ in range(3)]
+        serial = StreamPipeline(depth=1).simulate(blocks)
+        deep = StreamPipeline(depth=2).simulate(blocks)
+        assert serial.makespan == pytest.approx(9.0)
+        assert deep.makespan < serial.makespan
+
+    def test_monotone_in_depth(self):
+        blocks = [StagedBlock(0.7, 1.0, 0.7) for _ in range(8)]
+        spans = [StreamPipeline(depth=d).simulate(blocks).makespan for d in (1, 2, 4)]
+        assert spans[0] >= spans[1] >= spans[2]
+
+    def test_empty_pipeline(self):
+        res = StreamPipeline().simulate([])
+        assert res.makespan == 0.0
+        assert res.compute_utilization == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            StagedBlock(-1.0, 0.0, 0.0)
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            StreamPipeline(depth=0)
+
+    def test_multi_device_takes_max(self):
+        fast = [StagedBlock(0.0, 1.0, 0.0)]
+        slow = [StagedBlock(0.0, 5.0, 0.0)]
+        makespan, results = simulate_epoch_staging([fast, slow])
+        assert makespan == 5.0
+        assert len(results) == 2
+        with pytest.raises(ValueError):
+            simulate_epoch_staging([])
+
+
+class TestSimulator:
+    def test_maxwell_headline_number(self):
+        """Paper: ~267M updates/s, ~266 GB/s effective on Maxwell."""
+        pt = cumf_throughput(MAXWELL_TITAN_X, NETFLIX)
+        assert pt.mupdates == pytest.approx(257, rel=0.08)
+        assert pt.effective_bandwidth_gbs == pytest.approx(266, rel=0.05)
+
+    def test_pascal_headline_number(self):
+        pt = cumf_throughput(PASCAL_P100, NETFLIX)
+        assert 500 <= pt.mupdates <= 710  # paper: 613
+
+    def test_half_precision_doubles_throughput(self):
+        half = cumf_throughput(MAXWELL_TITAN_X, NETFLIX, half_precision=True)
+        full = cumf_throughput(MAXWELL_TITAN_X, NETFLIX, half_precision=False)
+        assert half.updates_per_sec / full.updates_per_sec == pytest.approx(2.0, rel=0.02)
+
+    def test_workers_clamped_to_cap(self):
+        pt = cumf_throughput(MAXWELL_TITAN_X, NETFLIX, workers=10_000)
+        assert pt.workers == 768
+
+    def test_linear_regime(self):
+        lo = cumf_throughput(MAXWELL_TITAN_X, NETFLIX, workers=96)
+        hi = cumf_throughput(MAXWELL_TITAN_X, NETFLIX, workers=192)
+        assert hi.updates_per_sec == pytest.approx(2 * lo.updates_per_sec, rel=0.01)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown GPU scheme"):
+            cumf_throughput(MAXWELL_TITAN_X, NETFLIX, scheme="magic")
+
+    def test_libmf_cpu_saturation(self):
+        r30 = libmf_cpu_throughput(XEON_E5_2670_DUAL, NETFLIX, threads=30)
+        r48 = libmf_cpu_throughput(XEON_E5_2670_DUAL, NETFLIX, threads=48)
+        assert r48.updates_per_sec < 1.1 * r30.updates_per_sec
+
+    def test_dataset_fits(self):
+        assert dataset_fits_gpu(NETFLIX, MAXWELL_TITAN_X)
+        assert dataset_fits_gpu(YAHOO, PASCAL_P100)
+        assert not dataset_fits_gpu(HUGEWIKI, MAXWELL_TITAN_X)
+        assert not dataset_fits_gpu(HUGEWIKI, PASCAL_P100)
+
+    def test_epoch_seconds_in_memory(self):
+        t = epoch_seconds(MAXWELL_TITAN_X, NETFLIX)
+        pt = cumf_throughput(MAXWELL_TITAN_X, NETFLIX)
+        assert t == pytest.approx(NETFLIX.n_train / pt.updates_per_sec)
+
+    def test_epoch_seconds_staged_longer_than_compute(self):
+        t = epoch_seconds(MAXWELL_TITAN_X, HUGEWIKI)
+        pt = cumf_throughput(MAXWELL_TITAN_X, HUGEWIKI)
+        compute_only = HUGEWIKI.n_train / pt.updates_per_sec
+        assert t > compute_only
+        assert t < 2.0 * compute_only  # overlap hides most of the staging
+
+    def test_staged_invalid_rate(self):
+        with pytest.raises(ValueError):
+            staged_epoch_seconds(MAXWELL_TITAN_X, HUGEWIKI, 0.0)
+
+    def test_pascal_hugewiki_speedup_larger_than_netflix(self):
+        """§7.3: NVLink's 5.3x link advantage makes Hugewiki's M->P speedup
+        exceed Netflix's."""
+        nf = epoch_seconds(MAXWELL_TITAN_X, NETFLIX) / epoch_seconds(PASCAL_P100, NETFLIX)
+        hw = epoch_seconds(MAXWELL_TITAN_X, HUGEWIKI) / epoch_seconds(PASCAL_P100, HUGEWIKI)
+        assert hw >= nf * 0.95
+
+    def test_scaling_curve_monotone(self):
+        curve = scaling_curve(MAXWELL_TITAN_X, NETFLIX)
+        rates = [p.updates_per_sec for p in curve]
+        assert all(a <= b + 1e-6 for a, b in zip(rates, rates[1:]))
+
+    def test_scaling_curve_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            scaling_curve(MAXWELL_TITAN_X, NETFLIX, workers_list=[0, 5])
+
+    def test_multi_gpu_sub_linear(self):
+        e1 = multi_gpu_epoch_seconds(PASCAL_P100, YAHOO, 1, 8, 8)
+        e2 = multi_gpu_epoch_seconds(PASCAL_P100, YAHOO, 2, 8, 8)
+        assert 1.0 < e1 / e2 < 2.0
+
+    def test_multi_gpu_validation(self):
+        with pytest.raises(ValueError):
+            multi_gpu_epoch_seconds(PASCAL_P100, YAHOO, 0, 8, 8)
+        with pytest.raises(ValueError, match="independent"):
+            multi_gpu_epoch_seconds(PASCAL_P100, YAHOO, 4, 2, 8)

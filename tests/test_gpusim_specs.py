@@ -1,0 +1,131 @@
+"""Tests for repro.gpusim.specs, occupancy, roofline."""
+
+import pytest
+
+from repro.gpusim.occupancy import (
+    BLOCK_THREADS,
+    KERNEL_REGISTERS_PER_THREAD,
+    max_parallel_workers,
+    occupancy_fraction,
+    register_limited_blocks,
+)
+from repro.gpusim.roofline import attainable_flops, machine_balance, roofline_point
+from repro.gpusim.specs import (
+    MAXWELL_TITAN_X,
+    NOMAD_HPC_CLUSTER,
+    NVLINK,
+    PASCAL_P100,
+    PCIE3_X16,
+    XEON_E5_2670_DUAL,
+)
+
+
+class TestTable1Values:
+    def test_maxwell(self):
+        assert MAXWELL_TITAN_X.sms == 24
+        assert MAXWELL_TITAN_X.cuda_cores_per_sm == 128
+        assert MAXWELL_TITAN_X.mem_gb == 12.0
+        assert MAXWELL_TITAN_X.mem_bw_gbs == 360.0
+        assert MAXWELL_TITAN_X.max_resident_blocks == 768
+
+    def test_pascal(self):
+        assert PASCAL_P100.sms == 56
+        assert PASCAL_P100.cuda_cores_per_sm == 64
+        assert PASCAL_P100.mem_bw_gbs == 780.0
+        assert PASCAL_P100.max_resident_blocks == 1792
+
+    def test_links(self):
+        assert PCIE3_X16.peak_gbs == 16.0
+        assert PCIE3_X16.achieved_gbs == 5.5  # the paper's measured value
+        assert NVLINK.peak_gbs == 80.0
+        assert NVLINK.achieved_gbs == 29.1
+        assert MAXWELL_TITAN_X.link is PCIE3_X16
+        assert PASCAL_P100.link is NVLINK
+
+    def test_cpu(self):
+        assert XEON_E5_2670_DUAL.physical_cores == 24
+        assert XEON_E5_2670_DUAL.max_threads == 48  # "up to 48 threads"
+
+    def test_cluster(self):
+        assert NOMAD_HPC_CLUSTER.nodes == 64
+        assert NOMAD_HPC_CLUSTER.cores_per_node == 4
+
+    def test_achieved_bandwidth_matches_paper(self):
+        """Fig. 11b: up to 266 GB/s on Maxwell, 567+ on Pascal."""
+        assert MAXWELL_TITAN_X.achieved_bw_gbs == pytest.approx(266.4)
+        assert 560 <= PASCAL_P100.achieved_bw_gbs <= 640
+
+
+class TestTransfer:
+    def test_transfer_seconds(self):
+        t = PCIE3_X16.transfer_seconds(5.5e9)
+        assert t == pytest.approx(1.0 + 10e-6, rel=1e-4)
+
+    def test_latency_only_for_zero_bytes(self):
+        assert PCIE3_X16.transfer_seconds(0) == pytest.approx(10e-6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PCIE3_X16.transfer_seconds(-1)
+
+    def test_nvlink_faster(self):
+        assert NVLINK.transfer_seconds(1e9) < PCIE3_X16.transfer_seconds(1e9)
+
+
+class TestOccupancy:
+    def test_paper_worker_caps(self):
+        assert max_parallel_workers(MAXWELL_TITAN_X) == 768
+        assert max_parallel_workers(PASCAL_P100) == 1792
+
+    def test_register_cap_not_binding_at_33(self):
+        """33 regs x 32 threads = 1056 regs/block; 65536/1056 = 62 blocks/SM
+        — above the architectural 32, so registers do not limit concurrency,
+        exactly the §4 claim."""
+        assert register_limited_blocks(KERNEL_REGISTERS_PER_THREAD) >= 32
+
+    def test_register_cap_binds_for_fat_kernels(self):
+        assert max_parallel_workers(MAXWELL_TITAN_X, registers_per_thread=128) < 768
+
+    def test_block_threads_is_warp(self):
+        assert BLOCK_THREADS == 32
+
+    def test_occupancy_fraction(self):
+        assert occupancy_fraction(384, MAXWELL_TITAN_X) == pytest.approx(0.5)
+        assert occupancy_fraction(10_000, MAXWELL_TITAN_X) == 1.0
+        with pytest.raises(ValueError):
+            occupancy_fraction(0, MAXWELL_TITAN_X)
+
+    def test_invalid_registers(self):
+        with pytest.raises(ValueError):
+            register_limited_blocks(0)
+
+
+class TestRoofline:
+    def test_attainable_min(self):
+        assert attainable_flops(0.5, 6000, 360) == pytest.approx(180)
+        assert attainable_flops(100, 6000, 360) == 6000
+
+    def test_invalid_intensity(self):
+        with pytest.raises(ValueError):
+            attainable_flops(0, 100, 100)
+
+    def test_machine_balance(self):
+        assert machine_balance(600, 60) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            machine_balance(100, 0)
+
+    def test_sgd_mf_memory_bound_everywhere(self):
+        for device in (MAXWELL_TITAN_X, PASCAL_P100, XEON_E5_2670_DUAL):
+            for fb in (2, 4):
+                assert roofline_point(device, k=128, feature_bytes=fb).memory_bound
+
+    def test_bandwidth_bound_rate_matches_hand_calc(self):
+        pt = roofline_point(MAXWELL_TITAN_X, k=128, feature_bytes=2)
+        assert pt.bandwidth_bound_updates_per_sec == pytest.approx(
+            266.4e9 / 1036, rel=1e-3
+        )
+
+    def test_efficiency_below_10_percent(self):
+        """The silicon-usage story: SGD-MF can use only a few % of peak."""
+        pt = roofline_point(PASCAL_P100, k=128)
+        assert pt.efficiency < 0.1

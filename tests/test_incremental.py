@@ -1,0 +1,152 @@
+"""Tests for repro.core.incremental — the paper's incremental-training
+future work."""
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import (
+    expand_model,
+    fold_in_items,
+    fold_in_users,
+    incremental_fit,
+)
+from repro.core.model import FactorModel
+from repro.core.trainer import CuMFSGD
+from repro.data.container import RatingMatrix
+from repro.metrics.rmse import rmse
+
+
+@pytest.fixture(scope="module")
+def trained(small_problem):
+    est = CuMFSGD(k=16, workers=32, lam=0.05, seed=0)
+    est.fit(small_problem.train, epochs=8, test=small_problem.test)
+    return est.model, small_problem
+
+
+class TestExpandModel:
+    def test_preserves_existing_factors(self, trained):
+        model, _ = trained
+        grown = expand_model(model, model.m + 10, model.n + 5, seed=1)
+        assert grown.m == model.m + 10 and grown.n == model.n + 5
+        assert np.array_equal(grown.p[: model.m], model.p)
+        assert np.array_equal(grown.q[: model.n], model.q)
+
+    def test_new_rows_in_init_range(self, trained):
+        model, _ = trained
+        grown = expand_model(model, model.m + 50, model.n, seed=1)
+        new = grown.p[model.m :]
+        hi = np.sqrt(1.0 / model.k)
+        assert float(new.min()) >= 0.0 and float(new.max()) < hi
+
+    def test_shrink_rejected(self, trained):
+        model, _ = trained
+        with pytest.raises(ValueError, match="grow"):
+            expand_model(model, model.m - 1, model.n)
+
+    def test_noop_growth(self, trained):
+        model, _ = trained
+        same = expand_model(model, model.m, model.n)
+        assert np.array_equal(same.p, model.p)
+
+
+class TestFoldIn:
+    def _new_user_ratings(self, problem, model, n_new=5, per_user=30, seed=3):
+        """Synth ratings for brand-new users drawn from the true factors."""
+        rng = np.random.default_rng(seed)
+        spec = problem.spec
+        k_true = problem.p_true.shape[1]
+        new_p = rng.normal(0, 1 / np.sqrt(k_true), (n_new, k_true)).astype(np.float32)
+        rows, cols, vals = [], [], []
+        for i in range(n_new):
+            items = rng.choice(spec.n, size=per_user, replace=False)
+            r = problem.q_true[items] @ new_p[i] + rng.normal(0, 0.2, per_user)
+            rows.extend([model.m + i] * per_user)
+            cols.extend(items.tolist())
+            vals.extend(r.tolist())
+        return RatingMatrix(
+            np.array(rows, np.int32), np.array(cols, np.int32),
+            np.array(vals, np.float32), model.m + n_new, spec.n,
+        ), n_new
+
+    def test_fold_in_users_predicts_new_users(self, trained):
+        model, problem = trained
+        new_ratings, n_new = self._new_user_ratings(problem, model)
+        grown = expand_model(model, model.m + n_new, model.n, seed=1)
+        folded = fold_in_users(grown, new_ratings, np.arange(model.m, model.m + n_new))
+        p, q = folded.as_float32()
+        err = rmse(p, q, new_ratings)
+        # the random-initialized rows would predict near zero -> large error
+        p0, q0 = grown.as_float32()
+        assert err < 0.6 * rmse(p0, q0, new_ratings)
+
+    def test_fold_in_leaves_q_untouched(self, trained):
+        model, problem = trained
+        new_ratings, n_new = self._new_user_ratings(problem, model)
+        grown = expand_model(model, model.m + n_new, model.n, seed=1)
+        folded = fold_in_users(grown, new_ratings, np.arange(model.m, model.m + n_new))
+        assert np.array_equal(folded.q, grown.q)
+
+    def test_fold_in_items_symmetric(self, trained):
+        model, problem = trained
+        # reuse: treat columns as the new side by transposing coordinates
+        rng = np.random.default_rng(5)
+        n_new = 4
+        grown = expand_model(model, model.m, model.n + n_new, seed=1)
+        rows = rng.choice(model.m, 80).astype(np.int32)
+        cols = (model.n + rng.integers(0, n_new, 80)).astype(np.int32)
+        p32 = grown.p.astype(np.float32)
+        target_q = rng.normal(0, 0.3, (n_new, model.k)).astype(np.float32)
+        vals = np.einsum("ij,ij->i", p32[rows], target_q[cols - model.n])
+        ratings = RatingMatrix(rows, cols, vals.astype(np.float32),
+                               model.m, model.n + n_new)
+        folded = fold_in_items(grown, ratings, np.arange(model.n, model.n + n_new),
+                               lam=1e-4)
+        p, q = folded.as_float32()
+        assert rmse(p, q, ratings) < 0.1
+
+    def test_validation(self, trained):
+        model, problem = trained
+        with pytest.raises(ValueError, match="no user ids"):
+            fold_in_users(model, problem.train, np.array([]))
+        with pytest.raises(ValueError, match="expand_model"):
+            fold_in_users(model, problem.train, np.array([model.m + 1]))
+        with pytest.raises(ValueError, match="no samples"):
+            # user 0 filtered out of an empty-selection rating set
+            empty_sel = problem.train.take(np.array([], dtype=np.int64))
+            fold_in_users(model, empty_sel, np.array([0]))
+
+
+class TestIncrementalFit:
+    def test_new_samples_improve_without_forgetting(self, trained):
+        model, problem = trained
+        # hold out a slice of training data as the "new" stream
+        rng = np.random.default_rng(7)
+        sel = rng.choice(problem.test.nnz, size=2000, replace=False)
+        new = problem.test.take(sel)
+        work = model.copy()
+        p0, q0 = work.as_float32()
+        before_new = rmse(p0, q0, new)
+        before_old = rmse(p0, q0, problem.train)
+        incremental_fit(work, new, epochs=3, lam=0.05,
+                        replay=problem.train, replay_fraction=0.5, seed=1)
+        p1, q1 = work.as_float32()
+        assert rmse(p1, q1, new) < before_new
+        assert rmse(p1, q1, problem.train) < before_old * 1.05  # no forgetting
+
+    def test_returns_same_object(self, trained):
+        model, problem = trained
+        work = model.copy()
+        out = incremental_fit(work, problem.test, epochs=1, seed=0)
+        assert out is work
+
+    def test_validation(self, trained):
+        model, problem = trained
+        with pytest.raises(ValueError, match="epochs"):
+            incremental_fit(model.copy(), problem.test, epochs=0)
+        with pytest.raises(ValueError, match="replay_fraction"):
+            incremental_fit(model.copy(), problem.test, replay_fraction=2.0)
+        big = RatingMatrix(np.array([0]), np.array([0]),
+                           np.array([1.0], np.float32),
+                           model.m + 5, model.n)
+        with pytest.raises(ValueError, match="expand_model"):
+            incremental_fit(model.copy(), big)

@@ -1,0 +1,123 @@
+"""Integration tests: every solver trains a realistic synthetic problem to
+near the noise floor, and cross-solver behaviour matches the paper's
+qualitative claims."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.als import ALSSolver
+from repro.baselines.bidmach import BIDMachSGD
+from repro.baselines.libmf import LIBMFSolver
+from repro.baselines.nomad import NOMADSolver
+from repro.core.lr_schedule import NomadSchedule
+from repro.core.trainer import CuMFSGD
+from repro.data.io import load_coo, save_coo
+from repro.data.synthetic import DatasetSpec, make_synthetic
+from repro.metrics.rmse import rmse
+
+
+@pytest.fixture(scope="module")
+def problem():
+    spec = DatasetSpec(name="integ", m=700, n=450, k=16, n_train=50_000, n_test=5_000)
+    return make_synthetic(spec, seed=3)
+
+
+SCHEDULE = NomadSchedule(alpha=0.08, beta=0.3)
+
+
+class TestAllSolversReachFloorNeighbourhood:
+    """Every implementation should close most of the gap between the initial
+    RMSE (~0.72 on this problem) and the 0.5 noise floor within 12 epochs."""
+
+    THRESHOLD = 0.58
+
+    def _check(self, hist, problem):
+        assert hist.final_test_rmse < self.THRESHOLD
+        assert hist.final_test_rmse > problem.rmse_floor * 0.95  # no leakage
+
+    def test_cumf_hogwild(self, problem):
+        est = CuMFSGD(k=16, scheme="batch_hogwild", workers=64, lam=0.05,
+                      schedule=SCHEDULE, seed=0)
+        self._check(est.fit(problem.train, epochs=12, test=problem.test), problem)
+
+    def test_cumf_wavefront(self, problem):
+        est = CuMFSGD(k=16, scheme="wavefront", workers=8, lam=0.05,
+                      schedule=SCHEDULE, seed=0)
+        self._check(est.fit(problem.train, epochs=12, test=problem.test), problem)
+
+    def test_cumf_multi_device(self, problem):
+        est = CuMFSGD(k=16, scheme="multi_device", workers=32, n_devices=2,
+                      grid=(4, 4), lam=0.05, schedule=SCHEDULE, seed=0)
+        self._check(est.fit(problem.train, epochs=12, test=problem.test), problem)
+
+    def test_libmf(self, problem):
+        est = LIBMFSolver(k=16, threads=6, a=20, lam=0.05, schedule=SCHEDULE, seed=0)
+        self._check(est.fit(problem.train, epochs=12, test=problem.test), problem)
+
+    def test_nomad(self, problem):
+        est = NOMADSolver(k=16, nodes=6, lam=0.05, schedule=SCHEDULE, seed=0)
+        self._check(est.fit(problem.train, epochs=12, test=problem.test), problem)
+
+    def test_bidmach(self, problem):
+        est = BIDMachSGD(k=16, batch=2048, lam=0.05, seed=0)
+        self._check(est.fit(problem.train, epochs=12, test=problem.test), problem)
+
+    def test_als(self, problem):
+        est = ALSSolver(k=16, lam=0.05, seed=0)
+        self._check(est.fit(problem.train, epochs=8, test=problem.test), problem)
+
+
+class TestCrossSolverClaims:
+    def test_als_needs_fewer_epochs_than_sgd(self, problem):
+        """§7.4: 'ALS needs fewer epochs to converge'."""
+        als = ALSSolver(k=16, lam=0.05, seed=0)
+        ha = als.fit(problem.train, epochs=4, test=problem.test)
+        sgd = CuMFSGD(k=16, workers=64, lam=0.05, schedule=SCHEDULE, seed=0)
+        hs = sgd.fit(problem.train, epochs=4, test=problem.test)
+        assert ha.test_rmse[1] < hs.test_rmse[1]
+
+    def test_hogwild_and_wavefront_similar_quality(self, problem):
+        """Fig. 7b: the two schemes converge to similar RMSE, hogwild
+        marginally ahead."""
+        hog = CuMFSGD(k=16, scheme="batch_hogwild", workers=64, lam=0.05,
+                      schedule=SCHEDULE, seed=0)
+        hh = hog.fit(problem.train, epochs=8, test=problem.test)
+        wave = CuMFSGD(k=16, scheme="wavefront", workers=8, lam=0.05,
+                       schedule=SCHEDULE, seed=0)
+        hw = wave.fit(problem.train, epochs=8, test=problem.test)
+        assert hh.final_test_rmse == pytest.approx(hw.final_test_rmse, rel=0.05)
+
+    def test_unsafe_parallelism_hurts(self, problem):
+        """§7.5: pushing s toward min(m, n) degrades convergence."""
+        safe = CuMFSGD(k=16, workers=16, lam=0.05, schedule=SCHEDULE, seed=0)
+        hs = safe.fit(problem.train, epochs=6, test=problem.test)
+        unsafe = CuMFSGD(k=16, workers=400, lam=0.05, schedule=SCHEDULE, seed=0)
+        hu = unsafe.fit(problem.train, epochs=6, test=problem.test)
+        assert hu.final_test_rmse > hs.final_test_rmse
+
+
+class TestEndToEndPipeline:
+    def test_save_train_load_predict(self, problem, tmp_path):
+        """Full workflow: persist data, train, score, predict top items."""
+        save_coo(tmp_path / "train.npz", problem.train)
+        train = load_coo(tmp_path / "train.npz")
+        est = CuMFSGD(k=16, workers=64, lam=0.05, schedule=SCHEDULE, seed=0)
+        est.fit(train, epochs=8, test=problem.test, target_rmse=0.62)
+        assert est.score(problem.test) <= 0.62
+        # top-5 recommendations for user 0
+        user = np.zeros(problem.spec.n, dtype=np.int64)
+        items = np.arange(problem.spec.n)
+        scores = est.predict(user, items)
+        top = np.argsort(scores)[::-1][:5]
+        assert len(set(top.tolist())) == 5
+        # predicted scores for top items beat the median item
+        assert scores[top].min() >= np.median(scores)
+
+    def test_model_quality_vs_ground_truth(self, problem):
+        """The learned factors predict held-out entries almost as well as
+        the generating factors."""
+        est = CuMFSGD(k=16, workers=64, lam=0.05, schedule=SCHEDULE, seed=0)
+        est.fit(problem.train, epochs=15, test=problem.test)
+        learned = est.score(problem.test)
+        truth = rmse(problem.p_true, problem.q_true, problem.test)
+        assert learned < truth * 1.15

@@ -1,0 +1,233 @@
+"""Tests for repro.core.kernels — the heart of the reproduction.
+
+The critical invariants:
+* the wave kernel on one sample is bit-identical to the serial reference;
+* conflict-free waves commute with serial execution;
+* duplicate rows/columns in a wave exhibit last-writer-wins (Hogwild);
+* fp16 storage works with fp32 compute.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import (
+    conflict_free_segments,
+    sgd_serial_update,
+    sgd_wave_update,
+    single_update,
+    wave_gradients,
+)
+from repro.core.model import FactorModel
+
+
+def _model(m=20, n=15, k=8, seed=0, half=False):
+    return FactorModel.initialize(m, n, k, seed=seed, half_precision=half)
+
+
+class TestSingleUpdate:
+    def test_matches_algorithm1_by_hand(self):
+        p = np.array([[1.0, 0.0]], dtype=np.float32)
+        q = np.array([[0.5, 0.5]], dtype=np.float32)
+        lr, lam, r = 0.1, 0.01, 2.0
+        err = single_update(p, q, 0, 0, r, lr, lam)
+        # error = 2.0 - 0.5 = 1.5
+        assert err == pytest.approx(1.5)
+        # p <- p + lr*(err*q - lam*p)
+        assert p[0, 0] == pytest.approx(1.0 + 0.1 * (1.5 * 0.5 - 0.01 * 1.0))
+        assert p[0, 1] == pytest.approx(0.0 + 0.1 * (1.5 * 0.5 - 0.01 * 0.0))
+        # q <- q + lr*(err*p_OLD - lam*q): gradient uses the pre-update p
+        assert q[0, 0] == pytest.approx(0.5 + 0.1 * (1.5 * 1.0 - 0.01 * 0.5))
+        assert q[0, 1] == pytest.approx(0.5 + 0.1 * (1.5 * 0.0 - 0.01 * 0.5))
+
+    def test_reduces_sample_error(self, rng):
+        m = _model()
+        u, v, r = 3, 4, 1.7
+        before = abs(r - float(m.p[u] @ m.q[v]))
+        for _ in range(30):
+            single_update(m.p, m.q, u, v, r, 0.1, 0.0)
+        after = abs(r - float(m.p[u] @ m.q[v]))
+        assert after < before * 0.1
+
+    def test_asymmetric_regularization(self):
+        m = _model()
+        p0, q0 = m.p.copy(), m.q.copy()
+        single_update(m.p, m.q, 0, 0, 0.0, 0.1, lam_p=0.5, lam_q=0.0)
+        # with r=0 and a fresh model error is small; lam shrinks p but the
+        # lam_q=0 side is shrunk only via the error term
+        assert np.linalg.norm(m.p[0]) < np.linalg.norm(p0[0])
+
+
+class TestWaveSerialEquivalence:
+    def test_wave_of_one_matches_single(self, rng):
+        m1, m2 = _model(seed=3), _model(seed=3)
+        u, v, r = 5, 7, 0.9
+        single_update(m1.p, m1.q, u, v, r, 0.05, 0.02)
+        sgd_wave_update(
+            m2.p, m2.q, np.array([u]), np.array([v]),
+            np.array([r], dtype=np.float32), 0.05, 0.02,
+        )
+        assert np.array_equal(m1.p, m2.p)
+        assert np.array_equal(m1.q, m2.q)
+
+    def test_conflict_free_wave_commutes_with_serial(self, rng):
+        m1, m2 = _model(seed=4), _model(seed=4)
+        rows = np.array([0, 1, 2, 3], dtype=np.int32)
+        cols = np.array([4, 5, 6, 7], dtype=np.int32)
+        vals = rng.normal(size=4).astype(np.float32)
+        sgd_wave_update(m1.p, m1.q, rows, cols, vals, 0.05, 0.02)
+        for u, v, r in zip(rows, cols, vals):
+            single_update(m2.p, m2.q, int(u), int(v), float(r), 0.05, 0.02)
+        np.testing.assert_allclose(m1.p, m2.p, rtol=1e-6)
+        np.testing.assert_allclose(m1.q, m2.q, rtol=1e-6)
+
+    def test_serial_update_equals_sample_loop(self, rng):
+        m1, m2 = _model(seed=5), _model(seed=5)
+        rows = rng.integers(0, 20, size=60).astype(np.int32)
+        cols = rng.integers(0, 15, size=60).astype(np.int32)
+        vals = rng.normal(size=60).astype(np.float32)
+        sgd_serial_update(m1.p, m1.q, rows, cols, vals, 0.05, 0.02, max_wave=8)
+        for u, v, r in zip(rows, cols, vals):
+            single_update(m2.p, m2.q, int(u), int(v), float(r), 0.05, 0.02)
+        np.testing.assert_allclose(m1.p, m2.p, rtol=1e-5, atol=1e-6)
+        np.testing.assert_allclose(m1.q, m2.q, rtol=1e-5, atol=1e-6)
+
+
+class TestRaceSemantics:
+    def test_duplicate_row_last_writer_wins(self):
+        """Two updates to the same p row in one wave: one is lost."""
+        m = _model(seed=6)
+        u = 2
+        rows = np.array([u, u], dtype=np.int32)
+        cols = np.array([3, 9], dtype=np.int32)
+        vals = np.array([1.0, -1.0], dtype=np.float32)
+        snapshot_p = m.p[u].copy()
+        q3, q9 = m.q[3].copy(), m.q[9].copy()
+        sgd_wave_update(m.p, m.q, rows, cols, vals, 0.1, 0.0)
+        # the surviving p[u] is the one computed from sample 2 (last writer),
+        # using the PRE-wave snapshot of p[u] (stale read)
+        err = -1.0 - float(snapshot_p @ q9)
+        expected = snapshot_p + np.float32(0.1) * (np.float32(err) * q9)
+        np.testing.assert_allclose(m.p[u], expected, rtol=1e-5)
+
+    def test_wave_reads_are_stale(self):
+        """All samples see the pre-wave model even when earlier samples in
+        the wave updated the same column."""
+        m = _model(seed=7)
+        v = 4
+        rows = np.array([0, 1], dtype=np.int32)
+        cols = np.array([v, v], dtype=np.int32)
+        vals = np.array([0.5, 0.5], dtype=np.float32)
+        q_snapshot = m.q[v].copy()
+        p1_snapshot = m.p[1].copy()
+        sgd_wave_update(m.p, m.q, rows, cols, vals, 0.1, 0.0)
+        err1 = 0.5 - float(p1_snapshot @ q_snapshot)  # stale q read
+        expected_p1 = p1_snapshot + np.float32(0.1) * np.float32(err1) * q_snapshot
+        np.testing.assert_allclose(m.p[1], expected_p1, rtol=1e-5)
+
+    def test_error_return_uses_snapshot(self, rng):
+        m = _model(seed=8)
+        rows = np.array([0], dtype=np.int32)
+        cols = np.array([0], dtype=np.int32)
+        expected = 1.0 - float(m.p[0] @ m.q[0])
+        err = sgd_wave_update(
+            m.p, m.q, rows, cols, np.array([1.0], dtype=np.float32), 0.1, 0.0
+        )
+        assert err[0] == pytest.approx(expected, rel=1e-5)
+
+
+class TestHalfPrecision:
+    def test_fp16_storage_fp32_compute(self, rng):
+        m = _model(half=True)
+        assert m.p.dtype == np.float16
+        rows = rng.integers(0, 20, size=10).astype(np.int32)
+        cols = rng.integers(0, 15, size=10).astype(np.int32)
+        vals = rng.normal(size=10).astype(np.float32)
+        sgd_wave_update(m.p, m.q, rows, cols, vals, 0.1, 0.01)
+        assert m.p.dtype == np.float16  # storage unchanged
+        assert np.isfinite(m.p.astype(np.float32)).all()
+
+    def test_fp16_tracks_fp32_closely(self, rng):
+        m16 = _model(seed=9, half=True)
+        m32 = FactorModel(
+            m16.p.astype(np.float32).copy(), m16.q.astype(np.float32).copy()
+        )
+        rows = rng.integers(0, 20, size=200).astype(np.int32)
+        cols = rng.integers(0, 15, size=200).astype(np.int32)
+        vals = rng.normal(size=200).astype(np.float32)
+        for lo in range(0, 200, 20):
+            sl = slice(lo, lo + 20)
+            sgd_wave_update(m16.p, m16.q, rows[sl], cols[sl], vals[sl], 0.05, 0.01)
+            sgd_wave_update(m32.p, m32.q, rows[sl], cols[sl], vals[sl], 0.05, 0.01)
+        # fp16 storage quantizes each write; drift stays small over 10 waves
+        np.testing.assert_allclose(
+            m16.p.astype(np.float32), m32.p, atol=0.02, rtol=0.05
+        )
+
+    def test_single_update_on_fp16(self):
+        m = _model(half=True)
+        err = single_update(m.p, m.q, 0, 0, 1.0, 0.1, 0.01)
+        assert np.isfinite(err)
+        assert m.p.dtype == np.float16
+
+
+class TestConflictFreeSegments:
+    def test_no_conflicts_single_segment(self):
+        segs = conflict_free_segments(np.arange(10), np.arange(10) + 20, max_wave=64)
+        assert segs == [(0, 10)]
+
+    def test_max_wave_respected(self):
+        segs = conflict_free_segments(np.arange(10), np.arange(10), max_wave=4)
+        assert segs == [(0, 4), (4, 8), (8, 10)]
+
+    def test_cut_at_repeated_row(self):
+        rows = np.array([0, 1, 0, 2])
+        cols = np.array([0, 1, 2, 3])
+        segs = conflict_free_segments(rows, cols)
+        assert segs[0] == (0, 2)
+
+    def test_cut_at_repeated_col(self):
+        rows = np.array([0, 1, 2, 3])
+        cols = np.array([5, 6, 5, 7])
+        segs = conflict_free_segments(rows, cols)
+        assert segs[0] == (0, 2)
+
+    def test_all_same_gives_unit_segments(self):
+        segs = conflict_free_segments(np.zeros(4, int), np.zeros(4, int))
+        assert segs == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_segments_partition_sequence(self, rng):
+        rows = rng.integers(0, 6, size=100)
+        cols = rng.integers(0, 6, size=100)
+        segs = conflict_free_segments(rows, cols, max_wave=16)
+        assert segs[0][0] == 0 and segs[-1][1] == 100
+        for (a1, b1), (a2, _) in zip(segs, segs[1:]):
+            assert b1 == a2
+        for a, b in segs:
+            assert len(np.unique(rows[a:b])) == b - a
+            assert len(np.unique(cols[a:b])) == b - a
+
+    def test_empty(self):
+        assert conflict_free_segments(np.array([]), np.array([])) == []
+
+
+class TestWaveGradients:
+    def test_gradients_match_update_direction(self, rng):
+        m = _model(seed=10)
+        rows = np.array([1, 2], dtype=np.int32)
+        cols = np.array([3, 4], dtype=np.int32)
+        vals = rng.normal(size=2).astype(np.float32)
+        err, gp, gq = wave_gradients(m.p, m.q, rows, cols, vals, 0.02, 0.02)
+        m2 = FactorModel(m.p.copy(), m.q.copy())
+        sgd_wave_update(m2.p, m2.q, rows, cols, vals, 0.1, 0.02)
+        np.testing.assert_allclose(m2.p[rows], m.p[rows] + 0.1 * gp, rtol=1e-5)
+        np.testing.assert_allclose(m2.q[cols], m.q[cols] + 0.1 * gq, rtol=1e-5)
+
+    def test_no_mutation(self, rng):
+        m = _model(seed=11)
+        p0, q0 = m.p.copy(), m.q.copy()
+        wave_gradients(
+            m.p, m.q, np.array([0]), np.array([0]),
+            np.array([1.0], dtype=np.float32), 0.1, 0.1,
+        )
+        assert np.array_equal(m.p, p0)
+        assert np.array_equal(m.q, q0)

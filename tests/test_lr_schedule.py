@@ -1,0 +1,94 @@
+"""Tests for repro.core.lr_schedule."""
+
+import numpy as np
+import pytest
+
+from repro.core.lr_schedule import (
+    AdaGradSchedule,
+    ConstantSchedule,
+    NomadSchedule,
+    schedule_from_name,
+)
+
+
+class TestConstant:
+    def test_constant(self):
+        s = ConstantSchedule(0.07)
+        assert s(0) == s(5) == s(100) == 0.07
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule()(-1)
+
+
+class TestNomad:
+    def test_eq9_exact(self):
+        """γ_t = α / (1 + β·t^1.5) with Table 3 Netflix parameters."""
+        s = NomadSchedule(alpha=0.08, beta=0.3)
+        assert s(0) == pytest.approx(0.08)
+        assert s(1) == pytest.approx(0.08 / 1.3)
+        assert s(4) == pytest.approx(0.08 / (1 + 0.3 * 8.0))
+
+    def test_monotone_decreasing(self):
+        s = NomadSchedule()
+        rates = [s(t) for t in range(30)]
+        assert all(a > b for a, b in zip(rates, rates[1:]))
+
+    def test_beta_controls_decay(self):
+        fast = NomadSchedule(alpha=0.08, beta=0.5)
+        slow = NomadSchedule(alpha=0.08, beta=0.1)
+        assert fast(10) < slow(10)
+        assert fast(0) == slow(0)
+
+
+class TestAdaGrad:
+    def test_requires_reset(self):
+        s = AdaGradSchedule()
+        with pytest.raises(RuntimeError, match="reset"):
+            s.elementwise_rate(np.array([0]), np.array([0]))
+        with pytest.raises(RuntimeError, match="reset"):
+            s.accumulate(np.array([0]), np.array([0]), np.zeros((1, 2)), np.zeros((1, 2)))
+
+    def test_rates_shrink_with_accumulation(self):
+        s = AdaGradSchedule(base_rate=0.1)
+        s.reset((4, 2), (3, 2))
+        rows = np.array([1])
+        cols = np.array([2])
+        r0_p, r0_q = s.elementwise_rate(rows, cols)
+        s.accumulate(rows, cols, np.ones((1, 2)), np.ones((1, 2)))
+        r1_p, r1_q = s.elementwise_rate(rows, cols)
+        assert np.all(r1_p < r0_p)
+        assert np.all(r1_q < r0_q)
+
+    def test_untouched_rows_keep_high_rate(self):
+        s = AdaGradSchedule(base_rate=0.1)
+        s.reset((4, 2), (3, 2))
+        s.accumulate(np.array([1]), np.array([2]), np.ones((1, 2)), np.ones((1, 2)))
+        rp, _ = s.elementwise_rate(np.array([0, 1]), np.array([0, 0]))
+        assert np.all(rp[0] > rp[1])
+
+    def test_scalar_rate_is_base(self):
+        assert AdaGradSchedule(base_rate=0.3)(10) == 0.3
+
+    def test_duplicate_rows_accumulate_twice(self):
+        s = AdaGradSchedule()
+        s.reset((2, 1), (2, 1))
+        s.accumulate(np.array([0, 0]), np.array([0, 1]),
+                     np.ones((2, 1)), np.ones((2, 1)))
+        assert s._accum_p[0, 0] == pytest.approx(2.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls", [("constant", ConstantSchedule), ("nomad", NomadSchedule), ("adagrad", AdaGradSchedule)]
+    )
+    def test_lookup(self, name, cls):
+        assert isinstance(schedule_from_name(name), cls)
+
+    def test_kwargs_forwarded(self):
+        s = schedule_from_name("nomad", alpha=0.5, beta=0.9)
+        assert s.alpha == 0.5
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            schedule_from_name("cosine")

@@ -1,0 +1,109 @@
+"""Tests for repro.core.model.FactorModel."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import FactorModel
+
+
+class TestInitialize:
+    def test_shapes_and_dtype(self):
+        m = FactorModel.initialize(30, 20, 8, seed=0)
+        assert m.p.shape == (30, 8)
+        assert m.q.shape == (20, 8)
+        assert m.p.dtype == np.float32
+        assert (m.m, m.n, m.k) == (30, 20, 8)
+
+    def test_algorithm1_range(self):
+        """Line 3: entries uniform in [0, sqrt(1/(k*scale_factor)))."""
+        k, sf = 16, 2.0
+        m = FactorModel.initialize(200, 200, k, seed=1, scale_factor=sf)
+        hi = np.sqrt(1.0 / (k * sf))
+        assert float(m.p.min()) >= 0.0
+        assert float(m.p.max()) < hi
+        assert float(m.q.max()) < hi
+        # actually fills the range
+        assert float(m.p.max()) > 0.9 * hi
+
+    def test_expected_initial_prediction_independent_of_k(self):
+        preds = []
+        for k in (8, 64):
+            m = FactorModel.initialize(500, 500, k, seed=2)
+            p, q = m.as_float32()
+            preds.append(float(np.mean(p[:100] @ q[:100].T)))
+        # E[p.q] = k * (hi/2)^2 = k * 1/(4k) = 0.25 for both
+        assert preds[0] == pytest.approx(0.25, rel=0.1)
+        assert preds[1] == pytest.approx(0.25, rel=0.1)
+
+    def test_deterministic(self):
+        a = FactorModel.initialize(10, 10, 4, seed=9)
+        b = FactorModel.initialize(10, 10, 4, seed=9)
+        assert np.array_equal(a.p, b.p)
+
+    @pytest.mark.parametrize("bad", [(0, 5, 3), (5, 0, 3), (5, 5, 0)])
+    def test_invalid_dims(self, bad):
+        with pytest.raises(ValueError):
+            FactorModel.initialize(*bad)
+
+    def test_invalid_scale_factor(self):
+        with pytest.raises(ValueError, match="scale_factor"):
+            FactorModel.initialize(5, 5, 2, scale_factor=0.0)
+
+
+class TestPrecision:
+    def test_half_initialize(self):
+        m = FactorModel.initialize(10, 10, 4, half_precision=True)
+        assert m.half_precision
+        assert m.p.dtype == np.float16
+
+    def test_nbytes_halved(self):
+        full = FactorModel.initialize(100, 80, 16)
+        half = FactorModel.initialize(100, 80, 16, half_precision=True)
+        assert half.nbytes == full.nbytes // 2
+
+    def test_to_half_and_back(self):
+        m = FactorModel.initialize(10, 10, 4, seed=3)
+        h = m.to_half()
+        assert h.half_precision
+        s = h.to_single()
+        assert not s.half_precision
+        np.testing.assert_allclose(s.p, m.p, atol=1e-3)
+
+    def test_conversions_are_noop_when_already_there(self):
+        m = FactorModel.initialize(10, 10, 4)
+        assert m.to_single() is m
+        h = m.to_half()
+        assert h.to_half() is h
+
+    def test_as_float32_returns_fp32(self):
+        h = FactorModel.initialize(10, 10, 4, half_precision=True)
+        p, q = h.as_float32()
+        assert p.dtype == np.float32 and q.dtype == np.float32
+
+
+class TestValidation:
+    def test_k_mismatch(self):
+        with pytest.raises(ValueError, match="feature dimensions disagree"):
+            FactorModel(np.zeros((3, 4), np.float32), np.zeros((3, 5), np.float32))
+
+    def test_dtype_mismatch(self):
+        with pytest.raises(ValueError, match="storage dtype"):
+            FactorModel(np.zeros((3, 4), np.float32), np.zeros((3, 4), np.float16))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            FactorModel(np.zeros(4, np.float32), np.zeros((3, 4), np.float32))
+
+
+class TestPredictAndCopy:
+    def test_predict(self, fresh_model):
+        rows = np.array([0, 1])
+        cols = np.array([2, 3])
+        got = fresh_model.predict(rows, cols)
+        p, q = fresh_model.as_float32()
+        assert got[0] == pytest.approx(float(p[0] @ q[2]), rel=1e-6)
+
+    def test_copy_independent(self, fresh_model):
+        c = fresh_model.copy()
+        c.p[0, 0] = 42.0
+        assert fresh_model.p[0, 0] != 42.0

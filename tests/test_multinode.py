@@ -1,0 +1,85 @@
+"""Tests for repro.gpusim.multinode — the multi-node future-work model.
+
+The defensible claims the model makes (and the paper's own analysis
+implies):
+
+* Hugewiki cannot scale across nodes at all — its n ≈ 40k caps safe
+  parallelism below even one node's worth of workers (§7.7's conclusion).
+* Yahoo!Music, the only both-dimensions-large workload, tolerates a couple
+  of nodes before the segment hand-backs over the cluster network erase the
+  gains — the same wall NOMAD hits (§2.3/§7.2).
+"""
+
+import pytest
+
+from repro.data.synthetic import PAPER_DATASETS
+from repro.gpusim.multinode import (
+    NodeSpec,
+    multinode_epoch_seconds,
+    multinode_scaling_curve,
+)
+from repro.gpusim.simulator import multi_gpu_epoch_seconds
+from repro.gpusim.specs import PASCAL_P100
+
+YAHOO = PAPER_DATASETS["yahoo"]
+HUGEWIKI = PAPER_DATASETS["hugewiki"]
+NODE = NodeSpec(gpu=PASCAL_P100, gpus_per_node=2)
+
+
+class TestEpochModel:
+    def test_single_node_close_to_single_node_model(self):
+        """With one node the multinode model should be in the same regime
+        as the §6 multi-GPU model on the same grid."""
+        multi = multi_gpu_epoch_seconds(PASCAL_P100, YAHOO, 2, 8, 8)
+        mn = multinode_epoch_seconds(YAHOO, NODE, 1, i_blocks=8, j_blocks=8)
+        assert mn == pytest.approx(multi, rel=0.5)
+
+    def test_network_hand_backs_penalize_cross_node_grids(self):
+        """On a fixed grid, the second node halves the rounds but charges
+        every remote dispatch a network hand-back — which at this block
+        granularity costs more than the compute it saves. This is the
+        model's core claim: naive multi-node cuMF_SGD is network-bound,
+        just like NOMAD."""
+        one = multinode_epoch_seconds(YAHOO, NODE, 1, i_blocks=16, j_blocks=16)
+        two = multinode_epoch_seconds(YAHOO, NODE, 2, i_blocks=16, j_blocks=16)
+        assert two > one
+        slow_net = NodeSpec(gpu=PASCAL_P100, gpus_per_node=2, network_gbs=0.5)
+        two_slow = multinode_epoch_seconds(YAHOO, slow_net, 2, i_blocks=16, j_blocks=16)
+        assert two_slow > two
+        fast_net = NodeSpec(gpu=PASCAL_P100, gpus_per_node=2, network_gbs=500.0)
+        two_fast = multinode_epoch_seconds(YAHOO, fast_net, 2, i_blocks=16, j_blocks=16)
+        assert two_fast < one  # with NVLink-class fabric the scaling returns
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multinode_epoch_seconds(YAHOO, NODE, 0)
+        with pytest.raises(ValueError, match="independent"):
+            multinode_epoch_seconds(YAHOO, NODE, 4, i_blocks=2, j_blocks=2)
+        with pytest.raises(ValueError):
+            multinode_scaling_curve(YAHOO, NODE, [])
+
+
+class TestScalingStory:
+    def test_hugewiki_unsafe_at_any_node_count(self):
+        """§7.7: Hugewiki's n prevents multi-GPU (let alone multi-node)
+        parallelism at full occupancy."""
+        curve = multinode_scaling_curve(HUGEWIKI, NODE, [1, 2, 4])
+        assert all(not safe for _, _, _, safe in curve)
+
+    def test_yahoo_safe_at_small_scale(self):
+        curve = multinode_scaling_curve(YAHOO, NODE, [1, 2])
+        assert all(safe for _, _, _, safe in curve)
+
+    def test_yahoo_gains_saturate_with_nodes(self):
+        """The network hand-backs cap scaling: speedup at 8 nodes is not
+        meaningfully better than at 2."""
+        curve = dict(
+            (n, speedup) for n, _, speedup, _ in
+            multinode_scaling_curve(YAHOO, NODE, [1, 2, 8])
+        )
+        assert curve[2] > 0.9  # a couple of nodes roughly hold the line
+        assert curve[8] < curve[2] * 1.3  # ...but 4x more nodes buy nothing
+
+    def test_yahoo_eventually_unsafe(self):
+        curve = multinode_scaling_curve(YAHOO, NODE, [8])
+        assert not curve[0][3]

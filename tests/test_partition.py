@@ -1,0 +1,83 @@
+"""Tests for repro.core.partition.GridPartition."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import GridPartition
+
+
+class TestGridPartition:
+    def test_coverage(self, tiny_problem):
+        part = GridPartition(tiny_problem.train, 4, 3)
+        assert part.coverage_check()
+        assert part.n_blocks == 12
+
+    def test_block_nnz_sums(self, tiny_problem):
+        part = GridPartition(tiny_problem.train, 4, 3)
+        assert part.block_nnz().sum() == tiny_problem.train.nnz
+        assert part.block_nnz().shape == (4, 3)
+
+    def test_block_bounds_contain_samples(self, tiny_problem):
+        part = GridPartition(tiny_problem.train, 3, 3)
+        for view in part.blocks():
+            rows = tiny_problem.train.rows[view.sample_index]
+            cols = tiny_problem.train.cols[view.sample_index]
+            if len(rows):
+                assert rows.min() >= view.row_lo and rows.max() < view.row_hi
+                assert cols.min() >= view.col_lo and cols.max() < view.col_hi
+
+    def test_block_of_matches_sample_assignment(self, tiny_problem):
+        part = GridPartition(tiny_problem.train, 4, 4)
+        for view in part.blocks():
+            for pos in view.sample_index[:3]:
+                u = int(tiny_problem.train.rows[pos])
+                v = int(tiny_problem.train.cols[pos])
+                assert part.block_of(u, v) == (view.bi, view.bj)
+
+    def test_block_of_bounds(self, tiny_problem):
+        part = GridPartition(tiny_problem.train, 2, 2)
+        with pytest.raises(IndexError):
+            part.block_of(10**6, 0)
+
+    def test_block_index_bounds(self, tiny_problem):
+        part = GridPartition(tiny_problem.train, 2, 2)
+        with pytest.raises(IndexError):
+            part.block(2, 0)
+
+    def test_independence(self, tiny_problem):
+        part = GridPartition(tiny_problem.train, 4, 4)
+        assert part.independent((0, 0), (1, 1))
+        assert not part.independent((0, 0), (0, 1))
+        assert not part.independent((0, 0), (1, 0))
+        assert part.independent_set([(0, 0), (1, 1), (2, 2)])
+        assert not part.independent_set([(0, 0), (1, 1), (0, 2)])
+        assert part.max_independent_blocks() == 4
+
+    def test_feature_and_coo_bytes(self, tiny_problem):
+        part = GridPartition(tiny_problem.train, 2, 2)
+        view = part.block(0, 0)
+        assert view.coo_bytes() == view.nnz * 12
+        rows, cols = view.shape
+        assert view.feature_bytes(k=8) == (rows + cols) * 8 * 4
+        assert view.feature_bytes(k=8, feature_bytes=2) == (rows + cols) * 8 * 2
+
+    def test_max_block_bytes_covers_largest(self, tiny_problem):
+        part = GridPartition(tiny_problem.train, 2, 2)
+        worst = part.max_block_bytes(k=8)
+        for view in part.blocks():
+            assert view.coo_bytes() + view.feature_bytes(8) <= worst
+
+    @pytest.mark.parametrize("grid", [(0, 2), (2, 0), (-1, 1)])
+    def test_invalid_grid(self, tiny_problem, grid):
+        with pytest.raises(ValueError):
+            GridPartition(tiny_problem.train, *grid)
+
+    def test_grid_larger_than_matrix_rejected(self, tiny_problem):
+        with pytest.raises(ValueError, match="exceeds"):
+            GridPartition(tiny_problem.train, tiny_problem.spec.m + 1, 1)
+
+    def test_single_block_grid(self, tiny_problem):
+        part = GridPartition(tiny_problem.train, 1, 1)
+        view = part.block(0, 0)
+        assert view.nnz == tiny_problem.train.nnz
+        assert view.shape == tiny_problem.train.shape

@@ -1,0 +1,93 @@
+"""Tests for repro.gpusim.planner."""
+
+import pytest
+
+from repro.data.synthetic import PAPER_DATASETS, DatasetSpec
+from repro.gpusim.occupancy import max_parallel_workers
+from repro.gpusim.planner import TrainingPlan, block_bytes, plan_training
+from repro.gpusim.specs import MAXWELL_TITAN_X, PASCAL_P100
+
+NETFLIX = PAPER_DATASETS["netflix"]
+YAHOO = PAPER_DATASETS["yahoo"]
+HUGEWIKI = PAPER_DATASETS["hugewiki"]
+
+
+class TestBlockBytes:
+    def test_shrinks_with_grid(self):
+        assert block_bytes(HUGEWIKI, 64, 1) < block_bytes(HUGEWIKI, 8, 1)
+
+    def test_half_precision_smaller(self):
+        assert block_bytes(NETFLIX, 4, 4, True) < block_bytes(NETFLIX, 4, 4, False)
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            block_bytes(NETFLIX, 0, 1)
+
+
+class TestPlanTraining:
+    def test_netflix_stays_resident_at_full_occupancy(self):
+        plan = plan_training(NETFLIX, MAXWELL_TITAN_X)
+        assert plan.grid == (1, 1)
+        assert not plan.staged
+        assert plan.workers == max_parallel_workers(MAXWELL_TITAN_X)
+        assert plan.safe
+
+    def test_hugewiki_must_stage(self):
+        plan = plan_training(HUGEWIKI, MAXWELL_TITAN_X)
+        assert plan.staged
+        assert plan.grid[0] > 1
+        assert plan.grid[1] <= 2  # the §7.5 j-limit at s=768
+        assert plan.safe
+
+    def test_multi_device_needs_independent_blocks(self):
+        plan = plan_training(YAHOO, PASCAL_P100, n_devices=2)
+        assert min(plan.grid) >= 2
+        assert plan.n_devices == 2
+
+    def test_tight_grid_warns_per_fig76(self):
+        plan = plan_training(YAHOO, PASCAL_P100, n_devices=2)
+        if min(plan.grid) < 4:
+            assert any("§7.6" in w for w in plan.warnings)
+
+    def test_safety_caps_workers_on_narrow_data(self):
+        narrow = DatasetSpec("narrow", m=100_000, n=3_000, k=32,
+                             n_train=1_000_000, n_test=10_000)
+        plan = plan_training(narrow, MAXWELL_TITAN_X)
+        assert plan.workers < max_parallel_workers(MAXWELL_TITAN_X)
+        assert plan.safe
+        assert any("safety rule" in w for w in plan.warnings)
+
+    def test_require_safe_false_uses_occupancy_cap(self):
+        narrow = DatasetSpec("narrow", m=100_000, n=3_000, k=32,
+                             n_train=1_000_000, n_test=10_000)
+        plan = plan_training(narrow, MAXWELL_TITAN_X, require_safe=False)
+        assert plan.workers == max_parallel_workers(MAXWELL_TITAN_X)
+
+    def test_tiny_dims_fall_back_to_one_safe_worker(self):
+        tiny_dims = DatasetSpec("tiny-dims", m=30, n=30, k=8,
+                                n_train=500, n_test=50)
+        plan = plan_training(tiny_dims, MAXWELL_TITAN_X)
+        assert plan.workers == 1
+        assert plan.safe
+
+    def test_infeasible_raises(self):
+        # so dense that no grid (max 256x256) fits a block in device memory
+        monster = DatasetSpec("monster", m=300, n=300, k=8,
+                              n_train=50_000_000_000_000, n_test=1_000)
+        with pytest.raises(ValueError, match="no feasible"):
+            plan_training(monster, MAXWELL_TITAN_X)
+
+    def test_invalid_devices(self):
+        with pytest.raises(ValueError):
+            plan_training(NETFLIX, MAXWELL_TITAN_X, n_devices=0)
+
+    def test_pascal_epoch_faster(self):
+        m = plan_training(NETFLIX, MAXWELL_TITAN_X)
+        p = plan_training(NETFLIX, PASCAL_P100)
+        assert p.epoch_seconds < m.epoch_seconds
+
+    def test_str_mentions_grid_and_warnings(self):
+        plan = TrainingPlan("d", "g", 1, (2, 2), 10, True, 1.0, 50.0,
+                            warnings=["w1"])
+        text = str(plan)
+        assert "2x2" in text and "w1" in text

@@ -1,0 +1,118 @@
+"""Tests for repro.data.preprocess."""
+
+import numpy as np
+import pytest
+
+from repro.data.container import RatingMatrix
+from repro.data.preprocess import (
+    BiasModel,
+    ScaleNormalizer,
+    compact_ids,
+    filter_min_counts,
+    remove_biases,
+)
+
+
+def _yahoo_style(rng, n=500):
+    rows = rng.integers(0, 40, n).astype(np.int32)
+    cols = rng.integers(0, 30, n).astype(np.int32)
+    vals = rng.uniform(0, 100, n).astype(np.float32)
+    return RatingMatrix(rows, cols, vals, 40, 30, name="yahooish")
+
+
+class TestScaleNormalizer:
+    def test_maps_to_target_interval(self, rng):
+        r = _yahoo_style(rng)
+        norm = ScaleNormalizer.fit(r, 0.0, 1.0)
+        t = norm.transform(r)
+        assert float(t.vals.min()) == pytest.approx(0.0, abs=1e-6)
+        assert float(t.vals.max()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_inverse_round_trip(self, rng):
+        r = _yahoo_style(rng)
+        norm = ScaleNormalizer.fit(r, -1.0, 1.0)
+        t = norm.transform(r)
+        back = norm.inverse(t.vals)
+        np.testing.assert_allclose(back, r.vals, rtol=1e-4, atol=1e-3)
+
+    def test_input_not_mutated(self, rng):
+        r = _yahoo_style(rng)
+        before = r.vals.copy()
+        ScaleNormalizer.fit(r).transform(r)
+        assert np.array_equal(r.vals, before)
+
+    def test_empty_rejected(self):
+        empty = RatingMatrix(np.array([]), np.array([]), np.array([]), 2, 2)
+        with pytest.raises(ValueError, match="empty"):
+            ScaleNormalizer.fit(empty)
+
+    def test_bad_interval(self, rng):
+        with pytest.raises(ValueError, match="interval"):
+            ScaleNormalizer.fit(_yahoo_style(rng), 1.0, 0.0)
+
+
+class TestBiases:
+    def test_residual_means_near_zero(self, rng):
+        r = _yahoo_style(rng, n=2000)
+        resid, bias = remove_biases(r, damping=0.0)
+        assert abs(float(resid.vals.mean())) < 1.0
+        # per-item residual means shrink dramatically
+        item_means = np.bincount(resid.cols, weights=resid.vals, minlength=30)
+        counts = np.maximum(resid.col_counts(), 1)
+        assert np.abs(item_means / counts).max() < np.abs(
+            r.vals.mean() - r.vals
+        ).mean()
+
+    def test_bias_prediction_reconstruction(self, rng):
+        r = _yahoo_style(rng, n=2000)
+        resid, bias = remove_biases(r)
+        recon = bias.add_back(resid.vals, resid.rows, resid.cols)
+        np.testing.assert_allclose(recon, r.vals, rtol=1e-4, atol=1e-3)
+
+    def test_damping_shrinks_rare_user_bias(self, rng):
+        rows = np.array([0] * 50 + [1], dtype=np.int32)
+        cols = np.arange(51).astype(np.int32) % 20
+        vals = np.concatenate([np.zeros(50), [10.0]]).astype(np.float32)
+        r = RatingMatrix(rows, cols, vals, 2, 20)
+        _, strong = remove_biases(r, damping=10.0)
+        _, weak = remove_biases(r, damping=0.0)
+        assert abs(strong.user_bias[1]) < abs(weak.user_bias[1])
+
+    def test_invalid(self, rng):
+        with pytest.raises(ValueError):
+            remove_biases(_yahoo_style(rng), damping=-1.0)
+        empty = RatingMatrix(np.array([]), np.array([]), np.array([]), 2, 2)
+        with pytest.raises(ValueError):
+            remove_biases(empty)
+
+
+class TestFilterAndCompact:
+    def test_filter_min_counts(self):
+        rows = np.array([0, 0, 0, 1, 2], dtype=np.int32)
+        cols = np.array([0, 1, 2, 0, 3], dtype=np.int32)
+        r = RatingMatrix(rows, cols, np.ones(5, np.float32), 3, 4)
+        filtered = filter_min_counts(r, min_user=2)
+        assert set(filtered.rows.tolist()) == {0}
+        filtered2 = filter_min_counts(r, min_item=2)
+        assert set(filtered2.cols.tolist()) == {0}
+
+    def test_filter_validation(self, tiny_ratings):
+        with pytest.raises(ValueError):
+            filter_min_counts(tiny_ratings, min_user=0)
+
+    def test_compact_ids_dense(self):
+        rows = np.array([5, 9], dtype=np.int32)
+        cols = np.array([100, 7], dtype=np.int32)
+        r = RatingMatrix(rows, cols, np.array([1.0, 2.0], np.float32), 20, 200)
+        compact, mapping = compact_ids(r)
+        assert compact.shape == (2, 2)
+        assert compact.nnz == 2
+        # round trip via the mapping
+        assert mapping.row_new_to_old[compact.rows[0]] == 5
+        assert mapping.col_old_to_new[100] == compact.cols[0]
+        assert mapping.row_old_to_new[9] == 1
+
+    def test_compact_preserves_values(self, tiny_ratings):
+        compact, _ = compact_ids(tiny_ratings)
+        assert sorted(compact.vals) == sorted(tiny_ratings.vals)
+        assert compact.nnz == tiny_ratings.nnz

@@ -1,0 +1,91 @@
+"""Tests for repro.metrics.ranking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.ranking import (
+    hit_rate,
+    ndcg_at_n,
+    precision_at_n,
+    recall_at_n,
+    top_n,
+)
+
+
+class TestTopN:
+    def test_basic(self):
+        scores = np.array([0.1, 0.9, 0.5, 0.7])
+        assert list(top_n(scores, 2)) == [1, 3]
+
+    def test_exclude(self):
+        scores = np.array([0.1, 0.9, 0.5, 0.7])
+        assert list(top_n(scores, 2, exclude=np.array([1]))) == [3, 2]
+
+    def test_ties_break_low_index(self):
+        scores = np.array([0.5, 0.5, 0.5])
+        assert list(top_n(scores, 2)) == [0, 1]
+
+    def test_n_larger_than_items(self):
+        assert len(top_n(np.array([1.0, 2.0]), 10)) == 2
+
+    def test_all_excluded(self):
+        assert len(top_n(np.array([1.0, 2.0]), 5, exclude=np.array([0, 1]))) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            top_n(np.array([1.0]), 0)
+        with pytest.raises(ValueError):
+            top_n(np.zeros((2, 2)), 1)
+
+
+class TestMetrics:
+    REC = np.array([3, 1, 7])
+    REL = np.array([1, 9])
+
+    def test_hit_rate(self):
+        assert hit_rate(self.REC, self.REL) == 1.0
+        assert hit_rate(np.array([2, 4]), self.REL) == 0.0
+
+    def test_precision(self):
+        assert precision_at_n(self.REC, self.REL) == pytest.approx(1 / 3)
+
+    def test_recall(self):
+        assert recall_at_n(self.REC, self.REL) == pytest.approx(1 / 2)
+
+    def test_ndcg_perfect_is_one(self):
+        assert ndcg_at_n(np.array([1, 9]), self.REL) == pytest.approx(1.0)
+
+    def test_ndcg_rank_sensitivity(self):
+        early = ndcg_at_n(np.array([1, 5, 6]), self.REL)
+        late = ndcg_at_n(np.array([5, 6, 1]), self.REL)
+        assert early > late > 0
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            hit_rate(np.array([]), self.REL)
+        with pytest.raises(ValueError):
+            ndcg_at_n(self.REC, np.array([]))
+
+
+class TestMetricProperties:
+    @given(
+        st.lists(st.integers(0, 50), min_size=1, max_size=10, unique=True),
+        st.lists(st.integers(0, 50), min_size=1, max_size=10, unique=True),
+    )
+    @settings(max_examples=80)
+    def test_all_metrics_in_unit_interval(self, rec, rel):
+        rec, rel = np.array(rec), np.array(rel)
+        for metric in (hit_rate, precision_at_n, recall_at_n, ndcg_at_n):
+            value = metric(rec, rel)
+            assert 0.0 <= value <= 1.0
+
+    @given(st.lists(st.integers(0, 30), min_size=2, max_size=8, unique=True))
+    @settings(max_examples=40)
+    def test_recommending_relevant_set_maximizes_everything(self, rel):
+        rel = np.array(rel)
+        assert hit_rate(rel, rel) == 1.0
+        assert precision_at_n(rel, rel) == 1.0
+        assert recall_at_n(rel, rel) == 1.0
+        assert ndcg_at_n(rel, rel) == pytest.approx(1.0)

@@ -1,0 +1,259 @@
+"""Tests for repro.sched: conflict predicate, global table, column locks,
+order enumeration."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.sched.column_lock import ColumnLockArray
+from repro.sched.conflict import (
+    collision_fraction,
+    count_conflicts,
+    expected_collision_fraction,
+    independent,
+    wave_is_conflict_free,
+)
+from repro.sched.ordering import (
+    count_feasible_orders,
+    enumerate_feasible_orders,
+    feasible_order_fraction,
+    is_feasible_order,
+)
+from repro.sched.table import GlobalScheduleTable
+
+
+class TestConflictPredicate:
+    def test_eq6(self):
+        assert independent(0, 0, 1, 1)
+        assert not independent(0, 0, 0, 1)  # shared row
+        assert not independent(0, 0, 1, 0)  # shared col
+        assert not independent(0, 0, 0, 0)
+
+    def test_count_conflicts(self):
+        rows = np.array([0, 1, 0, 2])
+        cols = np.array([0, 1, 2, 1])
+        # sample 2 repeats row 0; sample 3 repeats col 1
+        assert count_conflicts(rows, cols) == 2
+
+    def test_collision_fraction_matches_count(self, rng):
+        rows = rng.integers(0, 8, size=50)
+        cols = rng.integers(0, 8, size=50)
+        assert collision_fraction(rows, cols) == pytest.approx(
+            count_conflicts(rows, cols) / 50
+        )
+
+    def test_collision_fraction_empty(self):
+        assert collision_fraction(np.array([]), np.array([])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            count_conflicts(np.array([0]), np.array([0, 1]))
+
+    def test_wave_is_conflict_free(self):
+        assert wave_is_conflict_free(np.array([0, 1]), np.array([2, 3]))
+        assert not wave_is_conflict_free(np.array([0, 0]), np.array([2, 3]))
+
+    def test_expected_collision_monotone_in_s(self):
+        vals = [expected_collision_fraction(s, 1000, 1000) for s in (1, 10, 100, 500)]
+        assert vals[0] == 0.0
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+    def test_expected_collision_matches_empirical(self, rng):
+        s, m, n = 64, 300, 300
+        frac = np.mean(
+            [
+                collision_fraction(rng.integers(0, m, s), rng.integers(0, n, s))
+                for _ in range(200)
+            ]
+        )
+        assert expected_collision_fraction(s, m, n) == pytest.approx(frac, abs=0.02)
+
+    def test_expected_collision_invalid(self):
+        with pytest.raises(ValueError):
+            expected_collision_fraction(4, 0, 5)
+
+
+class TestGlobalTable:
+    def test_acquire_release_cycle(self):
+        t = GlobalScheduleTable(4, seed=0)
+        blk = t.acquire(0)
+        assert blk is not None
+        assert t.n_in_flight == 1
+        assert t.busy_rows[blk[0]] and t.busy_cols[blk[1]]
+        t.release(0)
+        assert t.n_in_flight == 0
+        assert not t.busy_rows.any()
+
+    def test_grants_are_pairwise_independent(self):
+        t = GlobalScheduleTable(6, seed=1)
+        blocks = [t.acquire(w) for w in range(6)]
+        rows = [b[0] for b in blocks]
+        cols = [b[1] for b in blocks]
+        assert len(set(rows)) == 6 and len(set(cols)) == 6
+
+    def test_exhaustion_returns_none(self):
+        t = GlobalScheduleTable(2, seed=2)
+        assert t.acquire(0) is not None
+        assert t.acquire(1) is not None
+        assert t.acquire(2) is None
+
+    def test_double_acquire_rejected(self):
+        t = GlobalScheduleTable(3)
+        t.acquire(0)
+        with pytest.raises(RuntimeError, match="already holds"):
+            t.acquire(0)
+
+    def test_release_without_hold_rejected(self):
+        t = GlobalScheduleTable(3)
+        with pytest.raises(RuntimeError, match="holds no block"):
+            t.release(5)
+
+    def test_scan_work_accounting(self):
+        t_full = GlobalScheduleTable(10, policy="table")
+        t_fast = GlobalScheduleTable(10, policy="rowcol")
+        t_full.acquire(0)
+        t_fast.acquire(0)
+        assert t_full.scan_work == 100  # O(a^2)
+        assert t_fast.scan_work == 20  # O(a)
+        assert t_full.scan_cost_cells() == 100
+        assert t_fast.scan_cost_cells() == 20
+
+    def test_prefer_low_count_balances(self):
+        """Over one epoch-worth of grants, update counts stay balanced."""
+        t = GlobalScheduleTable(4, seed=3)
+        for round_ in range(16):
+            for w in range(2):
+                t.acquire(w)
+            for w in range(2):
+                t.release(w)
+        counts = t.update_counts
+        assert counts.max() - counts.min() <= 1
+
+    def test_stuck_worker_when_a_equals_s(self):
+        """The Fig. 14 pathology: with all rows/cols busy, a releasing
+        worker can only re-acquire its own block."""
+        a = 4
+        t = GlobalScheduleTable(a, seed=4, prefer_low_count=False)
+        held = {w: t.acquire(w) for w in range(a)}
+        for _ in range(10):
+            t.release(0)
+            new = t.acquire(0)
+            assert new == held[0]
+
+    def test_reset_epoch_clears_counts(self):
+        t = GlobalScheduleTable(3)
+        t.acquire(0)
+        t.reset_epoch()
+        assert t.update_counts.sum() == 0
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_invalid_a(self, bad):
+        with pytest.raises(ValueError):
+            GlobalScheduleTable(bad)
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            GlobalScheduleTable(3, policy="magic")
+
+
+class TestColumnLockArray:
+    def test_acquire_release(self):
+        locks = ColumnLockArray(4)
+        assert locks.try_acquire(2, worker=0)
+        assert locks.owner(2) == 0
+        assert not locks.try_acquire(2, worker=1)
+        locks.release(2, worker=0)
+        assert locks.owner(2) == -1
+        assert locks.try_acquire(2, worker=1)
+
+    def test_contention_counters(self):
+        locks = ColumnLockArray(2)
+        locks.try_acquire(0, 0)
+        locks.try_acquire(0, 1)
+        locks.try_acquire(1, 1)
+        assert locks.attempts == 3
+        assert locks.contended == 1
+
+    def test_wrong_owner_release(self):
+        locks = ColumnLockArray(2)
+        locks.try_acquire(0, 0)
+        with pytest.raises(RuntimeError, match="owned by"):
+            locks.release(0, 1)
+
+    def test_bounds(self):
+        locks = ColumnLockArray(2)
+        with pytest.raises(IndexError):
+            locks.try_acquire(5, 0)
+        with pytest.raises(IndexError):
+            locks.owner(-1)
+        with pytest.raises(ValueError):
+            locks.try_acquire(0, -1)
+
+    def test_held_columns_and_all_free(self):
+        locks = ColumnLockArray(5)
+        assert locks.all_free()
+        locks.try_acquire(1, 0)
+        locks.try_acquire(3, 1)
+        assert list(locks.held_columns()) == [1, 3]
+        assert not locks.all_free()
+
+    def test_thread_safety_mutual_exclusion(self):
+        """Hammer one column from many threads: exactly one holder at a time."""
+        locks = ColumnLockArray(1)
+        holders = []
+        errors = []
+
+        def worker(wid):
+            for _ in range(200):
+                if locks.try_acquire(0, wid):
+                    holders.append(wid)
+                    if len(locks.held_columns()) != 1:
+                        errors.append("multiple holders")
+                    locks.release(0, wid)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert locks.all_free()
+        assert len(holders) > 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ColumnLockArray(0)
+
+
+class TestOrdering:
+    def test_paper_example_8_of_24(self):
+        assert count_feasible_orders(2, 2) == (8, 24)
+
+    def test_serial_all_feasible(self):
+        feasible, total = count_feasible_orders(2, 1)
+        assert feasible == total == 24
+
+    def test_feasible_orders_are_valid(self):
+        for order in enumerate_feasible_orders(2, 2):
+            assert is_feasible_order(order, 2)
+            # first round must be a diagonal pair
+            (r1, c1), (r2, c2) = order[0], order[1]
+            assert r1 != r2 and c1 != c2
+
+    def test_fraction_collapses_with_workers(self):
+        fr = [feasible_order_fraction(3, s) for s in (1, 2, 3)]
+        assert fr[0] == 1.0
+        assert fr[0] > fr[1] > fr[2] > 0
+
+    def test_infeasible_example(self):
+        # blocks (0,0) and (0,1) share a row -> cannot run concurrently
+        assert not is_feasible_order([(0, 0), (0, 1), (1, 0), (1, 1)], 2)
+
+    def test_large_grid_rejected(self):
+        with pytest.raises(ValueError, match="intractable"):
+            list(enumerate_feasible_orders(4, 2))
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            is_feasible_order([(0, 0)], 0)

@@ -1,0 +1,111 @@
+"""Unit tests for repro.data.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    PAPER_DATASETS,
+    SCALED_DATASETS,
+    DatasetSpec,
+    dataset_registry,
+    make_synthetic,
+    scaled_dataset,
+)
+from repro.metrics.rmse import rmse
+
+
+class TestSpecs:
+    def test_paper_table2_values(self):
+        nf = PAPER_DATASETS["netflix"]
+        assert (nf.m, nf.n, nf.k) == (480_190, 17_771, 128)
+        assert nf.n_train == 99_072_112
+        assert nf.n_test == 1_408_395
+        ya = PAPER_DATASETS["yahoo"]
+        assert (ya.m, ya.n) == (1_000_990, 624_961)
+        hw = PAPER_DATASETS["hugewiki"]
+        assert hw.n_train == 3_069_817_980
+
+    def test_table3_hyperparameters(self):
+        assert PAPER_DATASETS["netflix"].lam == 0.05
+        assert PAPER_DATASETS["yahoo"].lam == 1.0
+        assert PAPER_DATASETS["hugewiki"].lam == 0.03
+        assert all(s.alpha == 0.08 for s in PAPER_DATASETS.values())
+        assert PAPER_DATASETS["yahoo"].beta == 0.2
+
+    def test_table4_targets(self):
+        assert PAPER_DATASETS["netflix"].target_rmse == 0.92
+        assert PAPER_DATASETS["yahoo"].target_rmse == 22.0
+        assert PAPER_DATASETS["hugewiki"].target_rmse == 0.52
+
+    def test_density_and_bytes(self):
+        spec = DatasetSpec("x", m=100, n=50, k=8, n_train=400, n_test=100)
+        assert spec.n_samples == 500
+        assert spec.density == pytest.approx(0.1)
+        assert spec.coo_bytes == 400 * 12
+        assert spec.feature_bytes() == 150 * 8 * 4
+        assert spec.feature_bytes(half_precision=True) == 150 * 8 * 2
+
+    def test_registry_contains_both_scales(self):
+        reg = dataset_registry()
+        assert "netflix" in reg and "netflix-syn" in reg
+        assert len(reg) == len(PAPER_DATASETS) + len(SCALED_DATASETS)
+
+
+class TestGeneration:
+    def test_shapes_match_spec(self, tiny_spec, tiny_problem):
+        assert tiny_problem.train.nnz == tiny_spec.n_train
+        assert tiny_problem.test.nnz == tiny_spec.n_test
+        assert tiny_problem.train.shape == (tiny_spec.m, tiny_spec.n)
+
+    def test_train_test_disjoint(self, tiny_problem):
+        assert tiny_problem.train.validate_disjoint(tiny_problem.test)
+
+    def test_coordinates_unique(self, tiny_problem):
+        keys = (
+            tiny_problem.train.rows.astype(np.int64) * tiny_problem.train.n_cols
+            + tiny_problem.train.cols
+        )
+        assert len(np.unique(keys)) == len(keys)
+
+    def test_deterministic_by_seed(self, tiny_spec):
+        a = make_synthetic(tiny_spec, seed=5)
+        b = make_synthetic(tiny_spec, seed=5)
+        assert np.array_equal(a.train.vals, b.train.vals)
+        assert np.array_equal(a.train.rows, b.train.rows)
+
+    def test_different_seeds_differ(self, tiny_spec):
+        a = make_synthetic(tiny_spec, seed=5)
+        b = make_synthetic(tiny_spec, seed=6)
+        assert not np.array_equal(a.train.vals, b.train.vals)
+
+    def test_ground_truth_achieves_noise_floor(self, tiny_problem):
+        """Scoring the true factors reaches RMSE ~ noise_sigma on test data."""
+        got = rmse(tiny_problem.p_true, tiny_problem.q_true, tiny_problem.test)
+        assert got == pytest.approx(tiny_problem.noise_sigma, rel=0.1)
+        assert tiny_problem.rmse_floor == tiny_problem.noise_sigma
+
+    def test_rating_variance_matches_model(self, tiny_problem):
+        """Signal variance is 1/k_true by construction, plus the noise."""
+        var = float(np.var(tiny_problem.train.vals))
+        k_true = tiny_problem.p_true.shape[1]
+        expected = 1.0 / k_true + tiny_problem.noise_sigma**2
+        assert var == pytest.approx(expected, rel=0.25)
+
+    def test_custom_k_true_and_noise(self, tiny_spec):
+        prob = make_synthetic(tiny_spec, seed=0, k_true=2, noise_sigma=0.1)
+        assert prob.p_true.shape[1] == 2
+        assert rmse(prob.p_true, prob.q_true, prob.test) == pytest.approx(0.1, rel=0.15)
+
+    def test_scaled_dataset_by_name(self):
+        prob = scaled_dataset("netflix-syn", seed=1)
+        assert prob.spec.name == "netflix-syn"
+        assert prob.train.nnz == SCALED_DATASETS["netflix-syn"].n_train
+
+    def test_unknown_scaled_name(self):
+        with pytest.raises(KeyError, match="unknown scaled data set"):
+            scaled_dataset("nope")
+
+    def test_overfull_grid_rejected(self):
+        spec = DatasetSpec("bad", m=10, n=10, k=4, n_train=95, n_test=10)
+        with pytest.raises(ValueError, match="unique cells"):
+            make_synthetic(spec, seed=0)

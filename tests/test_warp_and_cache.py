@@ -1,0 +1,145 @@
+"""Tests for the warp-level kernel model and the L1 cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import single_update
+from repro.gpusim.l1cache import (
+    SetAssociativeCache,
+    rating_stream_hit_rate,
+)
+from repro.gpusim.warp_kernel import (
+    WARP_SIZE,
+    WarpStats,
+    shfl_down_reduce,
+    warp_sgd_update,
+)
+from repro.metrics.flops import flops_per_update
+
+
+class TestShuffleReduce:
+    def test_sums_lane_values(self, rng):
+        vals = rng.normal(size=WARP_SIZE).astype(np.float32)
+        got = shfl_down_reduce(vals)
+        assert got == pytest.approx(float(vals.astype(np.float64).sum()), rel=1e-5)
+
+    def test_exact_on_integers(self):
+        vals = np.arange(WARP_SIZE, dtype=np.float32)
+        assert shfl_down_reduce(vals) == float(WARP_SIZE * (WARP_SIZE - 1) // 2)
+
+    def test_counts_log2_shuffle_rounds(self):
+        stats = WarpStats()
+        shfl_down_reduce(np.ones(WARP_SIZE, np.float32), stats)
+        assert stats.shuffles == 5  # offsets 16, 8, 4, 2, 1
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            shfl_down_reduce(np.ones(16, np.float32))
+
+
+class TestWarpKernel:
+    def _models(self, k, seed=0):
+        rng = np.random.default_rng(seed)
+        p = rng.normal(0, 0.2, (6, k)).astype(np.float32)
+        q = rng.normal(0, 0.2, (5, k)).astype(np.float32)
+        return p, q
+
+    @pytest.mark.parametrize("k", [32, 64, 128])
+    def test_matches_reference_update(self, k):
+        """The warp program computes the same update as the reference
+        serial kernel (to fp32 reduction-order tolerance)."""
+        p1, q1 = self._models(k)
+        p2, q2 = p1.copy(), q1.copy()
+        err_warp = warp_sgd_update(p1, q1, 2, 3, 0.8, 0.05, 0.02)
+        err_ref = single_update(p2, q2, 2, 3, 0.8, 0.05, 0.02)
+        assert err_warp == pytest.approx(err_ref, rel=1e-5)
+        np.testing.assert_allclose(p1, p2, rtol=1e-5, atol=1e-7)
+        np.testing.assert_allclose(q1, q2, rtol=1e-5, atol=1e-7)
+
+    def test_k_must_be_warp_multiple(self):
+        p, q = self._models(48)
+        with pytest.raises(ValueError, match="multiple"):
+            warp_sgd_update(p, q, 0, 0, 1.0, 0.1, 0.0)
+
+    def test_flop_count_matches_eq5(self):
+        """The instrumented warp flops: 2k (per-lane dot mul+add) + 31
+        (5-round butterfly over 32 lanes) + 8k (update) + 1 (error)."""
+        k = 128
+        p, q = self._models(k)
+        stats = WarpStats()
+        warp_sgd_update(p, q, 0, 0, 1.0, 0.1, 0.01, stats)
+        expected = 2 * k + (WARP_SIZE - 1) + 8 * k + 1
+        assert stats.flops == expected
+        # the Eq.5 accounting (6k + k-1) is the fused-FMA count; same order
+        assert stats.flops < 2 * flops_per_update(k)
+
+    def test_memory_phase_transactions(self):
+        """Coalesced access: k=128 fp32 vectors need exactly 4 x 128B
+        transactions per vector phase — the §4 memory-coalescing claim."""
+        k = 128
+        p, q = self._models(k)
+        stats = WarpStats()
+        warp_sgd_update(p, q, 0, 0, 1.0, 0.1, 0.01, stats)
+        assert stats.transactions["load_p"] == 4
+        assert stats.transactions["store_q"] == 4
+        assert stats.transactions["sample"] == 1
+        assert stats.ldg_loads == 1
+        assert stats.global_loads == 2 * k
+        assert stats.global_stores == 2 * k
+
+    def test_convergence_through_warp_path(self):
+        p, q = self._models(32, seed=3)
+        r = 1.3
+        for _ in range(40):
+            warp_sgd_update(p, q, 1, 1, r, 0.1, 0.0)
+        assert float(p[1] @ q[1]) == pytest.approx(r, abs=0.02)
+
+
+class TestSetAssociativeCache:
+    def test_repeat_access_hits(self):
+        c = SetAssociativeCache(size_bytes=1024, line_bytes=128, ways=2)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(64)  # same 128B line
+        assert c.result().hit_rate == pytest.approx(2 / 3)
+
+    def test_lru_eviction(self):
+        c = SetAssociativeCache(size_bytes=256, line_bytes=128, ways=2)  # 1 set
+        c.access(0)
+        c.access(128)
+        c.access(256)  # evicts line 0
+        assert not c.access(0)
+
+    def test_lru_refresh_on_hit(self):
+        c = SetAssociativeCache(size_bytes=256, line_bytes=128, ways=2)
+        c.access(0)
+        c.access(128)
+        c.access(0)      # refresh line 0
+        c.access(256)    # should evict 128, not 0
+        assert c.access(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=0)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=100, line_bytes=128, ways=4)
+        c = SetAssociativeCache()
+        with pytest.raises(ValueError):
+            c.access(-1)
+
+
+class TestRatingStreamTrace:
+    def test_eq8_threshold_behaviour(self):
+        """Hit rate ~0 at f=1, near the 1 - 12/128 bound for f >= 16."""
+        r1 = rating_stream_hit_rate(50_000, f=1, seed=0)
+        r16 = rating_stream_hit_rate(50_000, f=16, seed=0)
+        r256 = rating_stream_hit_rate(50_000, f=256, seed=0)
+        assert r1.hit_rate < 0.2
+        assert r16.hit_rate > 0.85
+        assert r256.hit_rate == pytest.approx(1 - 12 / 128, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rating_stream_hit_rate(0, f=4)
+        with pytest.raises(ValueError):
+            rating_stream_hit_rate(100, f=0)

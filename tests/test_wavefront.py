@@ -1,0 +1,109 @@
+"""Tests for repro.core.wavefront.WavefrontScheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import FactorModel
+from repro.core.wavefront import WavefrontScheduler
+from repro.metrics.rmse import rmse
+
+
+class TestPreparation:
+    def test_default_grid_is_s_by_2s(self):
+        sched = WavefrontScheduler(workers=6)
+        assert sched.col_blocks == 12
+
+    def test_blocks_cover_all_samples(self, tiny_problem):
+        sched = WavefrontScheduler(workers=4, seed=0)
+        sched.prepare(tiny_problem.train)
+        total = sum(
+            len(sched.block_samples(w, c))
+            for w in range(4)
+            for c in range(int(sched.col_blocks))
+        )
+        assert total == tiny_problem.train.nnz
+
+    def test_block_samples_in_bounds(self, tiny_problem):
+        sched = WavefrontScheduler(workers=4, seed=0)
+        sched.prepare(tiny_problem.train)
+        m, n = tiny_problem.train.shape
+        row_edges = np.linspace(0, m, 5).astype(int)
+        col_edges = np.linspace(0, n, 9).astype(int)
+        idx = sched.block_samples(2, 3)
+        rows = tiny_problem.train.rows[idx]
+        cols = tiny_problem.train.cols[idx]
+        assert np.all((rows >= row_edges[2]) & (rows < row_edges[3]))
+        assert np.all((cols >= col_edges[3]) & (cols < col_edges[4]))
+
+    def test_block_samples_requires_prepare(self):
+        with pytest.raises(RuntimeError, match="prepare"):
+            WavefrontScheduler(workers=2).block_samples(0, 0)
+
+    @pytest.mark.parametrize("workers", [0, -3])
+    def test_invalid_workers(self, workers):
+        with pytest.raises(ValueError):
+            WavefrontScheduler(workers=workers)
+
+
+class TestEpoch:
+    def test_update_count_equals_nnz(self, tiny_problem):
+        sched = WavefrontScheduler(workers=4, seed=0)
+        model = FactorModel.initialize(
+            tiny_problem.spec.m, tiny_problem.spec.n, 8, seed=0
+        )
+        n = sched.run_epoch(model, tiny_problem.train, 0.05, 0.05)
+        assert n == tiny_problem.train.nnz
+
+    def test_rounds_at_least_col_blocks(self, tiny_problem):
+        """Each worker visits every column block once, so an epoch needs at
+        least col_blocks rounds; contention adds more."""
+        sched = WavefrontScheduler(workers=4, seed=0)
+        model = FactorModel.initialize(
+            tiny_problem.spec.m, tiny_problem.spec.n, 8, seed=0
+        )
+        sched.run_epoch(model, tiny_problem.train, 0.05, 0.05)
+        assert sched.last_epoch_rounds >= sched.col_blocks
+
+    def test_convergence(self, tiny_problem):
+        sched = WavefrontScheduler(workers=4, seed=0)
+        model = FactorModel.initialize(
+            tiny_problem.spec.m, tiny_problem.spec.n, 8, seed=0
+        )
+        p, q = model.as_float32()
+        before = rmse(p, q, tiny_problem.test)
+        for _ in range(3):
+            sched.run_epoch(model, tiny_problem.train, 0.08, 0.05)
+        p, q = model.as_float32()
+        assert rmse(p, q, tiny_problem.test) < before
+
+    def test_wait_events_counted_under_contention(self, tiny_problem):
+        """With a tight grid (c == s) workers must collide on columns."""
+        sched = WavefrontScheduler(workers=6, col_blocks=6, seed=0)
+        model = FactorModel.initialize(
+            tiny_problem.spec.m, tiny_problem.spec.n, 8, seed=0
+        )
+        sched.run_epoch(model, tiny_problem.train, 0.05, 0.05)
+        assert sched.wait_events > 0
+
+    def test_epoch_deterministic_given_seed(self, tiny_problem):
+        models = []
+        for _ in range(2):
+            sched = WavefrontScheduler(workers=4, seed=9)
+            model = FactorModel.initialize(
+                tiny_problem.spec.m, tiny_problem.spec.n, 8, seed=0
+            )
+            sched.run_epoch(model, tiny_problem.train, 0.05, 0.05)
+            models.append(model)
+        assert np.array_equal(models[0].p, models[1].p)
+
+    def test_reprepare_on_new_ratings(self, tiny_problem, small_problem):
+        sched = WavefrontScheduler(workers=4, seed=0)
+        model_a = FactorModel.initialize(
+            tiny_problem.spec.m, tiny_problem.spec.n, 8, seed=0
+        )
+        sched.run_epoch(model_a, tiny_problem.train, 0.05, 0.05)
+        model_b = FactorModel.initialize(
+            small_problem.spec.m, small_problem.spec.n, 8, seed=0
+        )
+        n = sched.run_epoch(model_b, small_problem.train, 0.05, 0.05)
+        assert n == small_problem.train.nnz
