@@ -24,6 +24,12 @@ from repro.core.kernels import wave_gradients
 from repro.core.lr_schedule import AdaGradSchedule
 from repro.core.model import FactorModel
 from repro.data.container import RatingMatrix
+from repro.obs.hooks import (
+    KernelEvent,
+    TrainerHooks,
+    resolve_hooks,
+    resolve_kernel_stride,
+)
 
 __all__ = ["AdaGradHogwild"]
 
@@ -53,9 +59,14 @@ class AdaGradHogwild(BatchHogwild):
         lr: float,
         lam_p: float,
         lam_q: float | None = None,
+        hooks: TrainerHooks | None = None,
     ) -> int:
         """One epoch; ``lr`` is ignored (ADAGRAD supplies per-element rates)."""
         lam_q = lam_p if lam_q is None else lam_q
+        hooks = resolve_hooks(hooks)
+        observe = hooks.active
+        stride = resolve_kernel_stride(hooks) if observe else 1
+        pending = 0
         self._ensure_state(model)
         assert self.schedule is not None
         updates = 0
@@ -71,4 +82,18 @@ class AdaGradHogwild(BatchHogwild):
             p[wr] = new_p if p.dtype == np.float32 else new_p.astype(p.dtype)
             q[wc] = new_q if q.dtype == np.float32 else new_q.astype(q.dtype)
             updates += len(wave)
+            if observe:
+                pending += 1
+                if pending == stride:
+                    hooks.on_kernel(
+                        KernelEvent(
+                            name="adagrad.wave", n_updates=len(wave),
+                            rows=wr, cols=wc, n_waves=pending,
+                        )
+                    )
+                    pending = 0
+        if pending:
+            hooks.on_kernel(
+                KernelEvent(name="adagrad.wave", n_updates=0, n_waves=pending)
+            )
         return updates

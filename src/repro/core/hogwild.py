@@ -27,6 +27,12 @@ import numpy as np
 from repro.core.kernels import sgd_wave_update
 from repro.core.model import FactorModel
 from repro.data.container import RatingMatrix
+from repro.obs.hooks import (
+    KernelEvent,
+    TrainerHooks,
+    resolve_hooks,
+    resolve_kernel_stride,
+)
 from repro.sched.conflict import collision_fraction
 
 __all__ = ["BatchHogwild"]
@@ -109,9 +115,19 @@ class BatchHogwild:
         lr: float,
         lam_p: float,
         lam_q: float | None = None,
+        hooks: TrainerHooks | None = None,
     ) -> int:
-        """Execute one full pass over the rating matrix. Returns #updates."""
+        """Execute one full pass over the rating matrix. Returns #updates.
+
+        ``hooks`` receives one ``on_kernel`` event per wave (with the wave's
+        coordinates, for Eq. 6 conflict accounting); with no collector
+        attached the per-wave cost is a single attribute check.
+        """
         lam_q = lam_p if lam_q is None else lam_q
+        hooks = resolve_hooks(hooks)
+        observe = hooks.active
+        stride = resolve_kernel_stride(hooks) if observe else 1
+        pending = 0
         updates = 0
         collision_acc = 0.0
         n_waves = 0
@@ -123,6 +139,20 @@ class BatchHogwild:
                 n_waves += 1
             sgd_wave_update(model.p, model.q, wr, wc, vals[wave], lr, lam_p, lam_q)
             updates += len(wave)
+            if observe:
+                pending += 1
+                if pending == stride:
+                    hooks.on_kernel(
+                        KernelEvent(
+                            name="hogwild.wave", n_updates=len(wave),
+                            rows=wr, cols=wc, n_waves=pending,
+                        )
+                    )
+                    pending = 0
+        if pending:  # tail waves the stride window did not flush
+            hooks.on_kernel(
+                KernelEvent(name="hogwild.wave", n_updates=0, n_waves=pending)
+            )
         if self.track_collisions and n_waves:
             self.collision_history.append(collision_acc / n_waves)
         return updates

@@ -28,6 +28,12 @@ from repro.core.kernels import sgd_wave_update
 from repro.core.model import FactorModel
 from repro.core.partition import BlockView, GridPartition
 from repro.data.container import RatingMatrix
+from repro.obs.hooks import (
+    BatchEvent,
+    TrainerHooks,
+    TransferEvent,
+    resolve_hooks,
+)
 
 __all__ = ["MultiDeviceSGD", "TransferLedger"]
 
@@ -139,9 +145,17 @@ class MultiDeviceSGD:
         lr: float,
         lam_p: float,
         lam_q: float | None = None,
+        hooks: TrainerHooks | None = None,
     ) -> int:
-        """One epoch: every block of the grid is updated exactly once."""
+        """One epoch: every block of the grid is updated exactly once.
+
+        ``hooks`` receives ``on_transfer`` events for every staged block's
+        modelled H2D/D2H bytes (the :class:`TransferLedger` traffic) and one
+        ``on_batch`` per block executed.
+        """
         lam_q = lam_p if lam_q is None else lam_q
+        hooks = resolve_hooks(hooks)
+        observe = hooks.active
         part = self.partition_for(ratings)
         feature_bytes = 2 if model.half_precision else 4
         pending = {(bi, bj) for bi in range(part.i) for bj in range(part.j)}
@@ -151,11 +165,36 @@ class MultiDeviceSGD:
             if not round_blocks:
                 raise RuntimeError("no independent block available — scheduling bug")
             self.ledger.rounds += 1
-            for bi, bj in round_blocks:
+            for device, (bi, bj) in enumerate(round_blocks):
                 view = part.block(bi, bj)
                 self.ledger.charge_dispatch(view, model.k, feature_bytes)
-                updates += self._device_pass(
+                n = self._device_pass(
                     model, ratings, view.sample_index, lr, lam_p, lam_q
                 )
+                updates += n
                 pending.discard((bi, bj))
+                if observe:
+                    feat = view.feature_bytes(model.k, feature_bytes)
+                    hooks.on_transfer(
+                        TransferEvent(
+                            direction="h2d",
+                            n_bytes=view.coo_bytes() + feat,
+                            device=device,
+                            block=(bi, bj),
+                        )
+                    )
+                    hooks.on_transfer(
+                        TransferEvent(
+                            direction="d2h", n_bytes=feat, device=device,
+                            block=(bi, bj),
+                        )
+                    )
+                    hooks.on_batch(
+                        BatchEvent(
+                            scheme="multi_device",
+                            worker=device,
+                            block=(bi, bj),
+                            n_updates=n,
+                        )
+                    )
         return updates

@@ -8,6 +8,7 @@ tracking — the measurement every RMSE-vs-time figure in the paper plots.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,6 +25,7 @@ from repro.core.multi_gpu import MultiDeviceSGD
 from repro.core.wavefront import WavefrontScheduler
 from repro.data.container import RatingMatrix
 from repro.metrics.rmse import rmse
+from repro.obs.hooks import EpochEvent, TrainerHooks, resolve_hooks
 
 __all__ = ["CuMFSGD", "TrainHistory"]
 
@@ -32,13 +34,45 @@ SCHEMES = ("batch_hogwild", "wavefront", "multi_device")
 
 @dataclass
 class TrainHistory:
-    """Per-epoch record of one training run."""
+    """Per-epoch record of one training run.
+
+    A thin consumer of the :mod:`repro.obs.hooks` protocol: the trainer
+    feeds it one :class:`~repro.obs.hooks.EpochEvent` per epoch through
+    :meth:`on_epoch`, exactly like any user-supplied collector. The legacy
+    :meth:`record` entry point wraps its arguments in an event and
+    delegates, so existing callers keep working.
+    """
 
     epochs: list[int] = field(default_factory=list)
     train_rmse: list[float] = field(default_factory=list)
     test_rmse: list[float] = field(default_factory=list)
     learning_rates: list[float] = field(default_factory=list)
     updates: list[int] = field(default_factory=list)
+    #: wall seconds per epoch (0.0 for histories built via record());
+    #: excluded from equality so instrumented reruns still compare equal
+    epoch_seconds: list[float] = field(default_factory=list, compare=False, repr=False)
+
+    active = True  # TrainerHooks protocol: always collecting
+
+    def on_epoch(self, event: EpochEvent) -> None:
+        """Consume one epoch event (the hook-protocol entry point)."""
+        self.epochs.append(event.epoch)
+        self.learning_rates.append(event.lr)
+        self.updates.append(event.n_updates)
+        self.epoch_seconds.append(event.seconds)
+        if event.train_rmse is not None:
+            self.train_rmse.append(event.train_rmse)
+        if event.test_rmse is not None:
+            self.test_rmse.append(event.test_rmse)
+
+    def on_batch(self, event) -> None:  # pragma: no cover - protocol no-op
+        pass
+
+    def on_kernel(self, event) -> None:  # pragma: no cover - protocol no-op
+        pass
+
+    def on_transfer(self, event) -> None:  # pragma: no cover - protocol no-op
+        pass
 
     def record(
         self,
@@ -47,14 +81,23 @@ class TrainHistory:
         n_updates: int,
         train: float | None,
         test: float | None,
+        seconds: float = 0.0,
     ) -> None:
-        self.epochs.append(epoch)
-        self.learning_rates.append(lr)
-        self.updates.append(n_updates)
-        if train is not None:
-            self.train_rmse.append(train)
-        if test is not None:
-            self.test_rmse.append(test)
+        self.on_epoch(
+            EpochEvent(
+                epoch=epoch,
+                lr=lr,
+                n_updates=n_updates,
+                train_rmse=train,
+                test_rmse=test,
+                seconds=seconds,
+            )
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        """Total executor wall time across recorded epochs."""
+        return float(sum(self.epoch_seconds))
 
     @property
     def final_test_rmse(self) -> float:
@@ -117,6 +160,12 @@ class CuMFSGD:
         Raise when the configuration violates the §7.5 safety rule and
         ``strict_safety`` is set; otherwise the check result is stored on
         :attr:`safety` for inspection.
+    hooks:
+        A :class:`repro.obs.hooks.TrainerHooks` consumer (e.g.
+        :class:`repro.obs.TelemetryCollector`). ``None`` picks up the
+        ambient collector from :func:`repro.obs.activate` scopes, falling
+        back to the zero-cost null object — the numeric results are
+        bit-identical either way.
     """
 
     def __init__(
@@ -134,6 +183,7 @@ class CuMFSGD:
         seed: int = 0,
         scale_factor: float = 1.0,
         strict_safety: bool = False,
+        hooks: TrainerHooks | None = None,
     ) -> None:
         if scheme not in SCHEMES:
             raise ValueError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
@@ -152,6 +202,7 @@ class CuMFSGD:
         self.seed = seed
         self.scale_factor = scale_factor
         self.strict_safety = strict_safety
+        self.hooks = hooks
         self.model: FactorModel | None = None
         self.history: TrainHistory | None = None
         self.safety = None
@@ -197,11 +248,13 @@ class CuMFSGD:
         eval_train: bool = False,
         warm_start: bool = False,
         verbose: bool = False,
+        hooks: TrainerHooks | None = None,
     ) -> TrainHistory:
         """Train for up to ``epochs`` full passes.
 
         Stops early when ``target_rmse`` is reached on the test set. Returns
-        (and stores) the :class:`TrainHistory`.
+        (and stores) the :class:`TrainHistory`. ``hooks`` overrides the
+        instance-level hooks for this call only.
         """
         if epochs <= 0:
             raise ValueError(f"epochs must be positive, got {epochs}")
@@ -218,16 +271,36 @@ class CuMFSGD:
                 half_precision=self.half_precision,
             )
         executor = self._make_executor()
+        active_hooks = resolve_hooks(hooks if hooks is not None else self.hooks)
         history = TrainHistory()
+        feature_bytes = 2 if self.half_precision else 4
         for epoch in range(epochs):
             lr = self.schedule(epoch)
+            t0 = time.perf_counter()
             n_updates = executor.run_epoch(
-                self.model, train, lr, self.lam
+                self.model, train, lr, self.lam, hooks=active_hooks
             )
+            t1 = time.perf_counter()
             p, q = self.model.as_float32()
             tr = rmse(p, q, train) if eval_train else None
             te = rmse(p, q, test) if test is not None else None
-            history.record(epoch + 1, lr, n_updates, tr, te)
+            event = EpochEvent(
+                epoch=epoch + 1,
+                lr=lr,
+                n_updates=n_updates,
+                train_rmse=tr,
+                test_rmse=te,
+                seconds=t1 - t0,
+                eval_seconds=time.perf_counter() - t1,
+                nnz=train.nnz,
+                k=self.k,
+                feature_bytes=feature_bytes,
+                scheme=self.scheme,
+                extra=self._executor_extras(executor) if active_hooks.active else {},
+            )
+            history.on_epoch(event)
+            if active_hooks.active:
+                active_hooks.on_epoch(event)
             if verbose:  # pragma: no cover - console output
                 parts = [f"epoch {epoch + 1:3d}", f"lr {lr:.5f}"]
                 if tr is not None:
@@ -239,6 +312,27 @@ class CuMFSGD:
                 break
         self.history = history
         return history
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _executor_extras(executor) -> dict:
+        """Scheduler-specific diagnostics for the epoch event (hooks only)."""
+        extra: dict = {}
+        if isinstance(executor, WavefrontScheduler):
+            prev = getattr(executor, "_obs_prev_waits", 0)
+            extra["lock_wait_events"] = executor.wait_events - prev
+            executor._obs_prev_waits = executor.wait_events
+            prev_attempts = getattr(executor, "_obs_prev_attempts", 0)
+            extra["lock_attempts"] = executor.lock_stats.attempts - prev_attempts
+            executor._obs_prev_attempts = executor.lock_stats.attempts
+            extra["sched_rounds"] = executor.last_epoch_rounds
+        elif isinstance(executor, BatchHogwild):
+            if executor.track_collisions and executor.collision_history:
+                extra["conflict_rate"] = executor.collision_history[-1]
+        elif isinstance(executor, MultiDeviceSGD):
+            extra["transfer_rounds"] = executor.ledger.rounds
+            extra["transfer_bytes"] = executor.ledger.total_bytes
+        return extra
 
     # ------------------------------------------------------------------
     def predict(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:

@@ -29,7 +29,8 @@ import numpy as np
 from repro.core.kernels import sgd_serial_update
 from repro.core.model import FactorModel
 from repro.data.container import RatingMatrix
-from repro.sched.column_lock import ColumnLockArray
+from repro.obs.hooks import BatchEvent, TrainerHooks, resolve_hooks
+from repro.sched.column_lock import ColumnLockArray, LockContentionStats
 
 __all__ = ["WavefrontScheduler"]
 
@@ -67,6 +68,8 @@ class WavefrontScheduler:
         self.wait_events = 0
         #: rounds needed by the last epoch (load-imbalance diagnostic)
         self.last_epoch_rounds = 0
+        #: cumulative column-lock contention across all epochs run
+        self.lock_stats = LockContentionStats()
 
     # ------------------------------------------------------------------
     def prepare(self, ratings: RatingMatrix) -> None:
@@ -100,9 +103,16 @@ class WavefrontScheduler:
         lr: float,
         lam_p: float,
         lam_q: float | None = None,
+        hooks: TrainerHooks | None = None,
     ) -> int:
-        """One full pass: every worker visits every column block once."""
+        """One full pass: every worker visits every column block once.
+
+        ``hooks`` receives one ``on_batch`` event per executed grid block,
+        carrying the lock waits the worker accumulated before the grant.
+        """
         lam_q = lam_p if lam_q is None else lam_q
+        hooks = resolve_hooks(hooks)
+        observe = hooks.active
         if self._block_index is None or self._prepared_for != (id(ratings), ratings.nnz):
             self.prepare(ratings)
         s, c = self.workers, int(self.col_blocks)
@@ -110,6 +120,7 @@ class WavefrontScheduler:
         # each worker draws a private permutation of column blocks (Fig. 6)
         sequences = [self._rng.permutation(c) for _ in range(s)]
         position = np.zeros(s, dtype=np.int64)
+        waits_since_grant = np.zeros(s, dtype=np.int64)
         updates = 0
         rounds = 0
         rows, cols, vals = ratings.rows, ratings.cols, ratings.vals
@@ -124,6 +135,7 @@ class WavefrontScheduler:
                     granted.append((int(w), col))
                 else:
                     self.wait_events += 1
+                    waits_since_grant[w] += 1
             if not granted:
                 raise RuntimeError(
                     "wavefront deadlock: no worker could acquire a column"
@@ -146,8 +158,20 @@ class WavefrontScheduler:
                     )
                     updates += len(idx)
                 locks.release(col, w)
+                if observe:
+                    hooks.on_batch(
+                        BatchEvent(
+                            scheme="wavefront",
+                            worker=w,
+                            block=(w, col),
+                            n_updates=len(idx),
+                            waits=int(waits_since_grant[w]),
+                        )
+                    )
+                    waits_since_grant[w] = 0
                 position[w] += 1
                 if position[w] == c:
                     remaining.discard(w)
         self.last_epoch_rounds = rounds
+        self.lock_stats = self.lock_stats + locks.stats()
         return updates

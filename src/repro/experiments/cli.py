@@ -8,6 +8,14 @@ Subcommands::
     cumf-sgd train netflix-syn --epochs 20 --scheme wavefront
     cumf-sgd plan hugewiki --gpu pascal --devices 2
     cumf-sgd throughput --gpu maxwell --workers 768
+    cumf-sgd trace fig07 --out results/fig07_trace.json       # Chrome trace
+    cumf-sgd metrics-dump fig10 --out results/fig10_metrics.json
+
+``trace`` and ``metrics-dump`` run an experiment under the
+:mod:`repro.obs` telemetry collector (plus a standard instrumented probe,
+so every metric family is populated even for analytic-only experiments) and
+write the artifacts to ``results/``. Experiment names are normalised, so
+``fig07`` and ``fig7`` both work.
 """
 
 from __future__ import annotations
@@ -19,7 +27,7 @@ from pathlib import Path
 
 from repro.experiments import REGISTRY, run_experiment
 
-__all__ = ["main"]
+__all__ = ["main", "resolve_experiment_id"]
 
 _GPU_CHOICES = ("maxwell", "pascal")
 
@@ -28,6 +36,33 @@ def _gpu_spec(name: str):
     from repro.gpusim.specs import MAXWELL_TITAN_X, PASCAL_P100
 
     return {"maxwell": MAXWELL_TITAN_X, "pascal": PASCAL_P100}[name]
+
+
+def resolve_experiment_id(name: str) -> str:
+    """Map user spellings onto registry ids (``fig07`` -> ``fig7`` -> ``fig5b``).
+
+    Resolution order: exact match; zero-stripped figure/table number; unique
+    prefix match. Raises KeyError with the known ids otherwise.
+    """
+    candidate = name.strip().lower()
+    if candidate in REGISTRY:
+        return candidate
+    import re
+
+    m = re.fullmatch(r"(fig|figure|table)0*(\d+)([a-z]?)", candidate)
+    if m:
+        prefix = "table" if m.group(1) == "table" else "fig"
+        candidate = f"{prefix}{int(m.group(2))}{m.group(3)}"
+        if candidate in REGISTRY:
+            return candidate
+    prefixed = [exp_id for exp_id in sorted(REGISTRY) if exp_id.startswith(candidate)]
+    if len(prefixed) == 1:
+        return prefixed[0]
+    raise KeyError(
+        f"unknown experiment {name!r}"
+        + (f" (ambiguous: {prefixed})" if prefixed else "")
+        + f"; known: {sorted(REGISTRY)}"
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -72,6 +107,30 @@ def _build_parser() -> argparse.ArgumentParser:
     thr_p.add_argument("--scheme", default="batch_hogwild",
                        choices=("batch_hogwild", "wavefront", "libmf_gpu"))
     thr_p.add_argument("--fp32", action="store_true")
+
+    trace_p = sub.add_parser(
+        "trace", help="run an experiment under telemetry; write a Chrome trace"
+    )
+    trace_p.add_argument("experiment", help="experiment id (fig07, fig7, table4…)")
+    trace_p.add_argument("--out", type=Path, help="trace path "
+                         "(default results/<exp>_trace.json)")
+    trace_p.add_argument("--full", action="store_true", help="full-scale runs")
+    trace_p.add_argument("--no-probe", action="store_true",
+                         help="skip the standard instrumented probe")
+    trace_p.add_argument("--metrics-out", type=Path,
+                         help="also dump the metrics registry JSON here")
+
+    dump_p = sub.add_parser(
+        "metrics-dump", help="run an experiment under telemetry; dump metrics JSON"
+    )
+    dump_p.add_argument("experiment", help="experiment id (fig07, fig7, table4…)")
+    dump_p.add_argument("--out", type=Path, help="metrics path "
+                        "(default results/<exp>_metrics.json)")
+    dump_p.add_argument("--full", action="store_true", help="full-scale runs")
+    dump_p.add_argument("--no-probe", action="store_true",
+                        help="skip the standard instrumented probe")
+    dump_p.add_argument("--jsonl", action="store_true",
+                        help="write JSONL (one metric per line) instead of JSON")
     return parser
 
 
@@ -126,20 +185,90 @@ def _cmd_train(args) -> int:
         grid=(4, 4) if args.scheme == "multi_device" else (1, 1),
         seed=args.seed,
     )
+    from repro.metrics.throughput import ThroughputRecord
+
     start = time.perf_counter()
     history = est.fit(problem.train, epochs=args.epochs, test=problem.test,
                       verbose=True)
     elapsed = time.perf_counter() - start
-    rate = history.total_updates / elapsed / 1e6
+    record = ThroughputRecord.from_history(
+        history, problem.train.nnz, elapsed_seconds=elapsed,
+        solver=f"cuMF_SGD/{args.scheme}", dataset=args.dataset,
+        workers=args.workers, k=est.k,
+    )
     print(f"\nfinal test RMSE {history.final_test_rmse:.4f} "
           f"(noise floor {problem.rmse_floor:.2f}) in {elapsed:.1f}s "
-          f"({rate:.1f} M host-updates/s)")
+          f"({record.musec:.1f} M updates/s Eq.7, "
+          f"{record.bandwidth_gbs:.2f} GB/s effective)")
     print(f"parallelism: {est.safety}")
     if args.save:
         from_path = save_model(args.save, est.model, epoch=len(history.epochs),
                                metadata={"dataset": args.dataset})
         print(f"checkpoint written to {from_path}")
     return 0
+
+
+def _instrumented_run(args):
+    """Run one experiment under a fresh collector (+ optional probe)."""
+    from repro.obs import TelemetryCollector, activate
+    from repro.obs.probe import standard_probe, workload_for_experiment
+
+    exp_id = resolve_experiment_id(args.experiment)
+    collector = TelemetryCollector(run_label=exp_id)
+    with activate(collector):
+        result = run_experiment(exp_id, quick=not args.full)
+    if not args.no_probe:
+        standard_probe(collector, workload=workload_for_experiment(exp_id))
+    return exp_id, collector, result
+
+
+def _print_headline(collector) -> None:
+    summary = collector.summary()
+    for key in ("updates_per_sec", "effective_bandwidth_gbs", "conflict_rate"):
+        if key in summary:
+            print(f"  {key}: {summary[key]:.4g}")
+    print(f"  lock_waits: {summary['lock_waits']:.0f} "
+          f"(of {summary['lock_attempts']:.0f} attempts)")
+    for device, frac in sorted(summary.get("stream_overlap_fraction", {}).items()):
+        print(f"  stream_overlap_fraction[gpu{device}]: {frac:.3f}")
+    for label, ups in sorted(summary.get("modelled_updates_per_sec", {}).items()):
+        print(f"  modelled updates/s [{label}]: {ups:.3g}")
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import validate_chrome_trace
+
+    try:
+        exp_id, collector, result = _instrumented_run(args)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    n_events = validate_chrome_trace(collector.tracer.to_chrome())
+    out = args.out or Path("results") / f"{exp_id}_trace.json"
+    collector.tracer.write(out)
+    print(f"{exp_id}: {n_events} trace events -> {out}")
+    print("open in chrome://tracing or https://ui.perfetto.dev")
+    _print_headline(collector)
+    if args.metrics_out:
+        collector.registry.write_json(args.metrics_out)
+        print(f"metrics -> {args.metrics_out}")
+    return 0 if result.all_checks_pass else 1
+
+
+def _cmd_metrics_dump(args) -> int:
+    try:
+        exp_id, collector, result = _instrumented_run(args)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    out = args.out or Path("results") / f"{exp_id}_metrics.json"
+    if args.jsonl:
+        collector.registry.write_jsonl(out)
+    else:
+        collector.registry.write_json(out)
+    print(f"{exp_id}: {len(collector.registry)} metrics -> {out}")
+    _print_headline(collector)
+    return 0 if result.all_checks_pass else 1
 
 
 def _cmd_plan(args) -> int:
@@ -198,6 +327,8 @@ def main(argv: list[str] | None = None) -> int:
         "train": _cmd_train,
         "plan": _cmd_plan,
         "throughput": _cmd_throughput,
+        "trace": _cmd_trace,
+        "metrics-dump": _cmd_metrics_dump,
     }[args.command](args)
 
 

@@ -11,6 +11,8 @@ The split every such experiment uses:
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from functools import lru_cache
 
 from repro.baselines.als import ALSSolver, als_epoch_seconds
@@ -38,7 +40,33 @@ __all__ = [
     "NUMERIC_SOLVERS",
     "PLATFORM_SOLVERS",
     "paper_spec_for",
+    "timed",
 ]
+
+
+@contextmanager
+def timed(name: str, **labels):
+    """Measure a block with ``time.perf_counter`` (monotonic — never
+    ``time.time``, which drifts under NTP) and report the elapsed seconds
+    as ``repro.exp.elapsed_seconds`` on the ambient metrics registry.
+
+    Yields a one-entry dict; ``result["seconds"]`` holds the elapsed time
+    after the block exits.
+    """
+    from repro.obs.context import active_registry
+
+    result = {"seconds": 0.0}
+    start = time.perf_counter()
+    try:
+        yield result
+    finally:
+        result["seconds"] = time.perf_counter() - start
+        registry = active_registry()
+        if registry is not None:
+            series = registry.series(
+                "repro.exp.elapsed_seconds", {"name": name, **labels}
+            )
+            series.append(len(series), result["seconds"])
 
 #: Quick-mode down-scales of the three workloads (same aspect-ratio logic
 #: as SCALED_DATASETS, ~4x smaller; β likewise retuned for the small scale).
@@ -109,7 +137,8 @@ def run_numeric_solver(
         est = ALSSolver(k=spec.k, lam=spec.lam, seed=seed)
     else:
         raise KeyError(f"unknown numeric solver {solver!r}; known: {NUMERIC_SOLVERS}")
-    return est.fit(problem.train, epochs=epochs, test=problem.test)
+    with timed("run_numeric_solver", solver=solver, dataset=spec.name):
+        return est.fit(problem.train, epochs=epochs, test=problem.test)
 
 
 def modelled_epoch_seconds(display_name: str, workload: str) -> float:

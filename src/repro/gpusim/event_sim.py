@@ -21,7 +21,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.context import active_registry, active_tracer
+from repro.obs.tracer import SIM_PID
+
 __all__ = ["EventSimResult", "simulate_scheduler"]
+
+#: Trace pid row for event-sim timelines (kept clear of stream pids).
+EVENT_SIM_PID = SIM_PID + 64
 
 
 @dataclass(frozen=True)
@@ -99,6 +105,10 @@ def simulate_scheduler(
     per_worker = np.zeros(workers, dtype=np.int64)
     wait_time = 0.0
     makespan = 0.0
+    tracer = active_tracer()
+    if tracer is not None:
+        for w in range(workers):
+            tracer.name_thread(EVENT_SIM_PID, w, f"eventsim:{scheme}:w{w}")
 
     while events and issued < epoch_updates:
         now, _, w, phase = heapq.heappop(events)
@@ -123,6 +133,28 @@ def simulate_scheduler(
         issued += take
         makespan = max(makespan, finish)
         heapq.heappush(events, (finish, next(counter), w, "request"))
+        if tracer is not None:
+            if start > now:
+                tracer.add_span(
+                    "wait", now, start - now,
+                    pid=EVENT_SIM_PID, tid=w, cat="sched",
+                )
+            tracer.add_span(
+                "block", start, finish - start,
+                pid=EVENT_SIM_PID, tid=w, cat="sched",
+                args={"updates": int(take)},
+            )
+
+    registry = active_registry()
+    if registry is not None:
+        registry.counter(
+            "repro.sim.sched.wait_seconds", {"scheme": scheme}
+        ).inc(wait_time)
+        registry.gauge(
+            "repro.sim.sched.utilization", {"scheme": scheme, "workers": workers}
+        ).set(
+            1.0 - wait_time / (makespan * workers) if makespan > 0 else 1.0
+        )
 
     return EventSimResult(
         scheme=scheme,

@@ -22,6 +22,7 @@ from repro.gpusim.occupancy import max_parallel_workers
 from repro.gpusim.specs import CPUSpec, GPUSpec
 from repro.gpusim.streams import StagedBlock, StreamPipeline
 from repro.metrics.flops import bytes_per_update
+from repro.obs.context import active_registry
 
 __all__ = [
     "PerfPoint",
@@ -34,6 +35,29 @@ __all__ = [
 ]
 
 GPU_SCHEMES = ("batch_hogwild", "wavefront", "libmf_gpu")
+
+
+def _record_perf_point(point: "PerfPoint", occupancy: float | None = None) -> None:
+    """Mirror a modelled throughput point into the ambient metrics registry
+    (no-op outside a :func:`repro.obs.activate` scope)."""
+    registry = active_registry()
+    if registry is None:
+        return
+    labels = {
+        "solver": point.solver,
+        "device": point.device,
+        "dataset": point.dataset,
+        "workers": point.workers,
+    }
+    registry.gauge("repro.perf.updates_per_sec", labels).set(point.updates_per_sec)
+    registry.gauge("repro.perf.effective_bandwidth_gbs", labels).set(
+        point.effective_bandwidth_gbs
+    )
+    if occupancy is not None:
+        registry.gauge(
+            "repro.sim.occupancy.fraction",
+            {"device": point.device, "workers": point.workers},
+        ).set(occupancy)
 
 
 @dataclass(frozen=True)
@@ -125,7 +149,7 @@ def cumf_throughput(
     ups = scheduler_throughput(
         model, w, updates_per_block, update_seconds, bandwidth_updates_cap=roof
     )
-    return PerfPoint(
+    point = PerfPoint(
         solver=label,
         device=spec.name,
         dataset=dataset.name,
@@ -134,6 +158,8 @@ def cumf_throughput(
         k=k,
         feature_bytes=feature_bytes,
     )
+    _record_perf_point(point, occupancy=w / cap)
+    return point
 
 
 # ----------------------------------------------------------------------
@@ -165,7 +191,7 @@ def libmf_cpu_throughput(
         cpu.update_compute_us * 1e-6,
         bandwidth_updates_cap=mem_roof,
     )
-    return PerfPoint(
+    point = PerfPoint(
         solver="LIBMF",
         device=cpu.name,
         dataset=dataset.name,
@@ -174,6 +200,8 @@ def libmf_cpu_throughput(
         k=k,
         feature_bytes=4,
     )
+    _record_perf_point(point)
+    return point
 
 
 # ----------------------------------------------------------------------

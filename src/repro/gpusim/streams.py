@@ -23,7 +23,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.context import active_registry, active_tracer
+from repro.obs.tracer import SIM_PID
+
 __all__ = ["StagedBlock", "PipelineResult", "StreamPipeline", "simulate_epoch_staging"]
+
+#: tid layout of one device's trace row group: one track per CUDA stream.
+_STREAM_TIDS = (("H2D", 0), ("compute", 1), ("D2H", 2))
 
 
 @dataclass(frozen=True)
@@ -72,8 +78,21 @@ class StreamPipeline:
             raise ValueError(f"pipeline depth must be >= 1, got {depth}")
         self.depth = depth
 
-    def simulate(self, blocks: list[StagedBlock]) -> PipelineResult:
-        """Run the recurrence over the dispatch order given."""
+    def simulate(self, blocks: list[StagedBlock], device: int = 0) -> PipelineResult:
+        """Run the recurrence over the dispatch order given.
+
+        When a telemetry collector is active (:func:`repro.obs.activate`),
+        every block's three phases become Chrome-trace spans — one track per
+        CUDA stream under ``pid = SIM_PID + device`` — and the device's
+        compute-overlap fraction lands in the ambient registry as
+        ``repro.sim.stream.overlap_fraction``.
+        """
+        tracer = active_tracer()
+        pid = SIM_PID + device
+        if tracer is not None:
+            tracer.name_thread(pid, 0, f"gpu{device}:stream:H2D")
+            tracer.name_thread(pid, 1, f"gpu{device}:stream:compute")
+            tracer.name_thread(pid, 2, f"gpu{device}:stream:D2H")
         h2d_done: list[float] = []
         comp_done: list[float] = []
         d2h_done: list[float] = []
@@ -88,14 +107,39 @@ class StreamPipeline:
             h2d_done.append(h2d)
             comp_done.append(comp)
             d2h_done.append(d2h)
-            timeline.append((blk.label or str(b), h2d, comp, d2h))
-        return PipelineResult(
+            label = blk.label or str(b)
+            timeline.append((label, h2d, comp, d2h))
+            if tracer is not None:
+                for (stream, tid), done, dur in (
+                    (_STREAM_TIDS[0], h2d, blk.h2d_seconds),
+                    (_STREAM_TIDS[1], comp, blk.compute_seconds),
+                    (_STREAM_TIDS[2], d2h, blk.d2h_seconds),
+                ):
+                    tracer.add_span(
+                        f"{stream} {label}",
+                        done - dur,
+                        dur,
+                        pid=pid,
+                        tid=tid,
+                        cat="stream",
+                        args={"block": label},
+                    )
+        result = PipelineResult(
             makespan=d2h_done[-1] if d2h_done else 0.0,
             h2d_busy=sum(b.h2d_seconds for b in blocks),
             compute_busy=sum(b.compute_seconds for b in blocks),
             d2h_busy=sum(b.d2h_seconds for b in blocks),
             timeline=timeline,
         )
+        registry = active_registry()
+        if registry is not None:
+            registry.gauge(
+                "repro.sim.stream.overlap_fraction", {"device": device}
+            ).set(result.compute_utilization)
+            registry.gauge(
+                "repro.sim.stream.exposed_transfer_seconds", {"device": device}
+            ).set(result.exposed_transfer)
+        return result
 
 
 def simulate_epoch_staging(
@@ -107,5 +151,8 @@ def simulate_epoch_staging(
     if not per_device_blocks:
         raise ValueError("need at least one device")
     pipeline = StreamPipeline(depth=depth)
-    results = [pipeline.simulate(blocks) for blocks in per_device_blocks]
+    results = [
+        pipeline.simulate(blocks, device=d)
+        for d, blocks in enumerate(per_device_blocks)
+    ]
     return max(r.makespan for r in results), results

@@ -51,3 +51,40 @@ class ThroughputRecord:
     def musec(self) -> float:
         """Millions of updates per second (the y-axis unit of Fig. 5/7)."""
         return self.updates_per_sec / 1e6
+
+    @classmethod
+    def from_history(
+        cls,
+        history,
+        nnz: int,
+        *,
+        elapsed_seconds: float | None = None,
+        solver: str = "cuMF_SGD",
+        dataset: str = "",
+        workers: int = 0,
+        k: int = 0,
+        feature_bytes: int = 4,
+    ) -> "ThroughputRecord":
+        """Eq. 7 over a recorded :class:`repro.core.trainer.TrainHistory`.
+
+        ``iterations`` is the number of recorded epochs; ``elapsed_seconds``
+        defaults to the history's own per-epoch wall times (populated by the
+        hook-instrumented trainer), so experiments no longer recompute
+        ``iterations * nnz / elapsed`` inline.
+        """
+        iterations = len(history.epochs)
+        if elapsed_seconds is None:
+            elapsed_seconds = float(sum(history.epoch_seconds))
+            if elapsed_seconds <= 0:
+                raise ValueError(
+                    "history carries no epoch wall times; pass elapsed_seconds "
+                    "(epoch_seconds is only populated by the instrumented trainer)"
+                )
+        return cls(
+            solver=solver,
+            dataset=dataset,
+            workers=workers,
+            updates_per_sec=updates_per_second(iterations, nnz, elapsed_seconds),
+            k=k,
+            feature_bytes=feature_bytes,
+        )

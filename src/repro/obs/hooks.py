@@ -1,0 +1,240 @@
+"""Profiling hook protocol threaded through trainer, schedulers, and gpusim.
+
+The contract has four callbacks, mirroring the four things the paper
+measures:
+
+* ``on_epoch`` — one full pass finished (wall time, updates, RMSE; the
+  per-epoch rows behind every RMSE-vs-time figure);
+* ``on_batch`` — one scheduled block executed (wavefront grid block,
+  multi-device staged block; carries scheduler wait counts);
+* ``on_kernel`` — one kernel-equivalent launch (a Hogwild wave); carries the
+  wave's row/column indices so a collector can compute Eq. 6 conflict rates;
+* ``on_transfer`` — modelled bytes crossed the CPU-GPU interconnect.
+
+**Zero-cost discipline**: every producer takes ``hooks=None`` and resolves
+it via :func:`resolve_hooks` to the shared :data:`NULL_HOOKS` singleton,
+whose ``active`` flag is False. Hot loops guard event *construction* with
+``if hooks.active:`` — with no collector attached the per-wave cost is one
+attribute load, and the numeric path is bit-identical to the uninstrumented
+code (asserted by ``tests/test_obs.py``).
+
+This module deliberately imports nothing from ``repro.core`` / ``repro.gpusim``
+so both sides can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+__all__ = [
+    "EpochEvent",
+    "BatchEvent",
+    "KernelEvent",
+    "TransferEvent",
+    "TrainerHooks",
+    "NullHooks",
+    "NULL_HOOKS",
+    "CompositeHooks",
+    "RecordingHooks",
+    "resolve_hooks",
+    "resolve_kernel_stride",
+]
+
+
+# ----------------------------------------------------------------------
+# events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EpochEvent:
+    """One completed training epoch."""
+
+    epoch: int  # 1-based
+    lr: float
+    n_updates: int
+    train_rmse: float | None = None
+    test_rmse: float | None = None
+    #: wall seconds spent inside the executor (excludes RMSE evaluation)
+    seconds: float = 0.0
+    #: wall seconds spent evaluating train/test RMSE
+    eval_seconds: float = 0.0
+    #: rating-matrix nnz, for Eq. 7 updates/s
+    nnz: int = 0
+    k: int = 0
+    feature_bytes: int = 4
+    scheme: str = ""
+    #: executor-specific diagnostics (lock waits, rounds, collision rate…)
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def updates_per_sec(self) -> float:
+        return self.n_updates / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass(slots=True)
+class BatchEvent:
+    """One scheduled block executed by one worker/device.
+
+    Slotted and unfrozen: batch/kernel events fire at high rate, and a
+    frozen dataclass pays ``object.__setattr__`` per field on construction
+    (~2x the cost — measured by ``benchmarks/bench_obs_overhead.py``).
+    """
+
+    scheme: str
+    worker: int
+    block: tuple[int, int]
+    n_updates: int
+    #: failed lock acquisitions this worker accumulated before the grant
+    waits: int = 0
+    seconds: float = 0.0
+
+
+@dataclass(slots=True)
+class KernelEvent:
+    """One kernel-equivalent launch (a Hogwild/AdaGrad wave).
+
+    Slotted and unfrozen for construction speed — see :class:`BatchEvent`.
+
+    High-rate producers honor the consumer's ``kernel_stride`` hint (an
+    optional integer attribute on the hooks object, default 1): they emit
+    one event per ``stride`` waves and set :attr:`n_waves` to the number of
+    launches the event stands for, so wave *counts* stay exact while the
+    per-wave emission cost amortizes away. Eq. 6 conflict fractions are
+    then a 1-in-``stride`` sample — fine for a statistical quantity.
+    """
+
+    name: str
+    n_updates: int
+    seconds: float = 0.0
+    #: wave coordinates for Eq. 6 conflict accounting (may be None)
+    rows: Sequence[int] | None = None
+    cols: Sequence[int] | None = None
+    #: launches this event represents (stride-1 of them unreported)
+    n_waves: int = 1
+
+
+@dataclass(frozen=True)
+class TransferEvent:
+    """Modelled bytes crossing the CPU-GPU interconnect."""
+
+    direction: str  # "h2d" | "d2h"
+    n_bytes: int
+    device: int = 0
+    block: tuple[int, int] = (0, 0)
+    seconds: float = 0.0
+
+
+# ----------------------------------------------------------------------
+# protocol + null object
+# ----------------------------------------------------------------------
+@runtime_checkable
+class TrainerHooks(Protocol):
+    """Anything accepting the four callbacks (duck-typed; see NullHooks)."""
+
+    active: bool
+
+    def on_epoch(self, event: EpochEvent) -> None: ...
+
+    def on_batch(self, event: BatchEvent) -> None: ...
+
+    def on_kernel(self, event: KernelEvent) -> None: ...
+
+    def on_transfer(self, event: TransferEvent) -> None: ...
+
+
+class NullHooks:
+    """Do-nothing hooks: the default, and the zero-cost guarantee.
+
+    ``active`` is False so producers skip event construction entirely; the
+    callbacks exist (as no-ops) so even an unguarded call site stays safe.
+    """
+
+    active = False
+
+    def on_epoch(self, event: EpochEvent) -> None:
+        pass
+
+    def on_batch(self, event: BatchEvent) -> None:
+        pass
+
+    def on_kernel(self, event: KernelEvent) -> None:
+        pass
+
+    def on_transfer(self, event: TransferEvent) -> None:
+        pass
+
+
+#: Shared singleton — identity-compared by resolve_hooks and tests.
+NULL_HOOKS = NullHooks()
+
+
+def resolve_hooks(hooks: "TrainerHooks | None") -> "TrainerHooks":
+    """None -> the ambient collector (if activated) or NULL_HOOKS."""
+    if hooks is not None:
+        return hooks
+    from repro.obs.context import active_hooks
+
+    return active_hooks()
+
+
+def resolve_kernel_stride(hooks: "TrainerHooks") -> int:
+    """The consumer's ``kernel_stride`` hint, clamped to >= 1.
+
+    Consumers without the attribute (TrainHistory, RecordingHooks) get every
+    wave; a :class:`~repro.obs.collector.TelemetryCollector` advertises its
+    sampling interval so producers skip event construction entirely for the
+    waves in between.
+    """
+    return max(1, int(getattr(hooks, "kernel_stride", 1)))
+
+
+class CompositeHooks:
+    """Fan one event stream out to several consumers."""
+
+    def __init__(self, *hooks: TrainerHooks) -> None:
+        self.hooks = [h for h in hooks if h is not None and h is not NULL_HOOKS]
+
+    @property
+    def active(self) -> bool:
+        return any(h.active for h in self.hooks)
+
+    def on_epoch(self, event: EpochEvent) -> None:
+        for h in self.hooks:
+            h.on_epoch(event)
+
+    def on_batch(self, event: BatchEvent) -> None:
+        for h in self.hooks:
+            h.on_batch(event)
+
+    def on_kernel(self, event: KernelEvent) -> None:
+        for h in self.hooks:
+            h.on_kernel(event)
+
+    def on_transfer(self, event: TransferEvent) -> None:
+        for h in self.hooks:
+            h.on_transfer(event)
+
+
+class RecordingHooks:
+    """Keeps every event in plain lists — the simplest real consumer,
+    used by tests and handy for notebook-style inspection."""
+
+    active = True
+
+    def __init__(self) -> None:
+        self.epochs: list[EpochEvent] = []
+        self.batches: list[BatchEvent] = []
+        self.kernels: list[KernelEvent] = []
+        self.transfers: list[TransferEvent] = []
+
+    def on_epoch(self, event: EpochEvent) -> None:
+        self.epochs.append(event)
+
+    def on_batch(self, event: BatchEvent) -> None:
+        self.batches.append(event)
+
+    def on_kernel(self, event: KernelEvent) -> None:
+        self.kernels.append(event)
+
+    def on_transfer(self, event: TransferEvent) -> None:
+        self.transfers.append(event)

@@ -1,0 +1,95 @@
+"""Standard instrumented probe backing ``cumf-sgd trace`` / ``metrics-dump``.
+
+Many registered experiments are purely analytic (they query the performance
+model, never train or stage blocks), so running them under a collector would
+leave whole metric families empty. The probe guarantees the four headline
+families exist for *any* experiment by exercising each producer once on a
+small synthetic problem at the experiment's workload parameters:
+
+1. a real batch-Hogwild! training run (measured Eq. 7 updates/s, per-wave
+   Eq. 6 conflict rate, epoch spans);
+2. a real wavefront run (column-lock attempts/waits);
+3. the modelled throughput points (``repro.perf.*`` gauges, labeled);
+4. the staged stream pipeline (per-stream overlap spans + overlap fraction);
+5. the event-driven scheduler sim (per-worker block/wait spans).
+
+Everything runs inside the caller's activation scope; imports are lazy so
+``repro.obs`` stays importable without pulling the whole stack.
+"""
+
+from __future__ import annotations
+
+__all__ = ["standard_probe", "workload_for_experiment"]
+
+_WORKLOADS = ("netflix", "yahoo", "hugewiki")
+
+
+def workload_for_experiment(experiment_id: str) -> str:
+    """Best-effort workload association (most figures sweep Netflix)."""
+    if experiment_id in ("fig12", "fig15"):
+        return "yahoo"
+    if experiment_id in ("fig16",):
+        return "hugewiki"
+    return "netflix"
+
+
+def standard_probe(
+    collector,
+    workload: str = "netflix",
+    epochs: int = 3,
+    seed: int = 11,
+) -> None:
+    """Populate all headline metric families on ``collector``."""
+    from repro.core.lr_schedule import NomadSchedule
+    from repro.core.trainer import CuMFSGD
+    from repro.data.synthetic import DatasetSpec, make_synthetic
+    from repro.gpusim.event_sim import simulate_scheduler
+    from repro.gpusim.simulator import (
+        cumf_throughput,
+        libmf_cpu_throughput,
+        staged_epoch_seconds,
+    )
+    from repro.gpusim.specs import MAXWELL_TITAN_X, PASCAL_P100, XEON_E5_2670_DUAL
+    from repro.data.synthetic import PAPER_DATASETS
+    from repro.obs.context import activate
+
+    if workload not in _WORKLOADS:
+        raise ValueError(f"unknown workload {workload!r}; choose from {_WORKLOADS}")
+
+    probe_spec = DatasetSpec(
+        name=f"{workload}-probe", m=400, n=260, k=16, n_train=20_000, n_test=2_000
+    )
+    problem = make_synthetic(probe_spec, seed=seed)
+    schedule = NomadSchedule(alpha=0.08, beta=0.1)
+
+    with activate(collector):
+        # 1-2: measured training under both single-GPU schemes
+        for scheme, workers in (("batch_hogwild", 32), ("wavefront", 4)):
+            est = CuMFSGD(
+                k=probe_spec.k, scheme=scheme, workers=workers, lam=0.05,
+                schedule=schedule, seed=seed,
+            )
+            est.fit(problem.train, epochs=epochs, test=problem.test)
+
+        # 3: modelled paper-scale throughput points (labeled perf gauges)
+        paper = PAPER_DATASETS[workload]
+        cumf_throughput(MAXWELL_TITAN_X, paper)
+        cumf_throughput(PASCAL_P100, paper)
+        libmf_cpu_throughput(XEON_E5_2670_DUAL, paper)
+
+        # 4: staged stream pipeline (Hugewiki-style 16x1 staging for speed)
+        point = cumf_throughput(MAXWELL_TITAN_X, paper)
+        staged_epoch_seconds(
+            MAXWELL_TITAN_X, paper, point.updates_per_sec, i_blocks=16, j_blocks=1
+        )
+
+        # 5: event-driven scheduler sim (column locks, the contended case)
+        simulate_scheduler(
+            "column_locks",
+            workers=16,
+            updates_per_block=64,
+            update_seconds=1e-6,
+            epoch_updates=16_384,
+            n_columns=32,
+            seed=seed,
+        )

@@ -1,0 +1,98 @@
+"""Validator for the Chrome ``trace_event`` JSON we emit.
+
+The container has no ``jsonschema`` package, so this is a hand-rolled
+structural check of the subset of the Trace Event Format the
+:class:`repro.obs.tracer.Tracer` produces (JSON Object Format with
+``traceEvents``; phases X, i, C, M). The CLI validates every trace before
+writing it, and the test suite validates golden traces from the gpusim
+instrumentation — a malformed trace should fail in CI, not in Perfetto.
+
+Reference: "Trace Event Format" design doc (Google, catapult project).
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+from typing import Iterable
+
+__all__ = ["TraceValidationError", "validate_chrome_trace", "validate_events"]
+
+#: Phases the tracer emits. (The full format defines more: B/E, b/e, s/t/f…)
+_KNOWN_PHASES = {"X", "i", "I", "C", "M", "B", "E"}
+
+_REQUIRED_ALWAYS = ("name", "ph", "ts", "pid", "tid")
+
+
+class TraceValidationError(ValueError):
+    """A trace document that Chrome/Perfetto would reject (or misrender)."""
+
+    def __init__(self, index: int | None, message: str) -> None:
+        self.index = index
+        where = "document" if index is None else f"traceEvents[{index}]"
+        super().__init__(f"{where}: {message}")
+
+
+def _check_event(i: int, ev: object) -> None:
+    if not isinstance(ev, dict):
+        raise TraceValidationError(i, f"event must be an object, got {type(ev).__name__}")
+    for key in _REQUIRED_ALWAYS:
+        if key not in ev:
+            raise TraceValidationError(i, f"missing required key {key!r}")
+    if not isinstance(ev["name"], str) or not ev["name"]:
+        raise TraceValidationError(i, "name must be a non-empty string")
+    ph = ev["ph"]
+    if ph not in _KNOWN_PHASES:
+        raise TraceValidationError(i, f"unknown phase {ph!r}")
+    if not isinstance(ev["ts"], Real) or isinstance(ev["ts"], bool):
+        raise TraceValidationError(i, f"ts must be a number, got {ev['ts']!r}")
+    if ev["ts"] < 0:
+        raise TraceValidationError(i, f"ts must be non-negative, got {ev['ts']}")
+    for key in ("pid", "tid"):
+        if not isinstance(ev[key], int) or isinstance(ev[key], bool):
+            raise TraceValidationError(i, f"{key} must be an integer, got {ev[key]!r}")
+    if "args" in ev and not isinstance(ev["args"], dict):
+        raise TraceValidationError(i, "args must be an object")
+    if ph == "X":
+        if "dur" not in ev:
+            raise TraceValidationError(i, "complete event (ph=X) requires dur")
+        dur = ev["dur"]
+        if not isinstance(dur, Real) or isinstance(dur, bool) or dur < 0:
+            raise TraceValidationError(i, f"dur must be a non-negative number, got {dur!r}")
+    if ph == "C" and not ev.get("args"):
+        raise TraceValidationError(i, "counter event (ph=C) requires non-empty args")
+    if ph == "M":
+        if ev["name"] not in ("process_name", "thread_name", "process_labels",
+                              "process_sort_index", "thread_sort_index"):
+            raise TraceValidationError(i, f"unknown metadata event {ev['name']!r}")
+        if ev["name"] in ("process_name", "thread_name"):
+            args = ev.get("args") or {}
+            if not isinstance(args.get("name"), str):
+                raise TraceValidationError(i, f"{ev['name']} requires args.name string")
+    if ph in ("i", "I") and ev.get("s", "t") not in ("g", "p", "t"):
+        raise TraceValidationError(i, f"instant scope must be g/p/t, got {ev.get('s')!r}")
+
+
+def validate_events(events: Iterable[object]) -> int:
+    """Validate a ``traceEvents`` list; returns the number of events."""
+    n = -1
+    for n, ev in enumerate(events):
+        _check_event(n, ev)
+    return n + 1
+
+
+def validate_chrome_trace(doc: object) -> int:
+    """Validate a full trace document (object or bare array format).
+
+    Returns the event count; raises :class:`TraceValidationError` on the
+    first malformed event so the message pinpoints it.
+    """
+    if isinstance(doc, list):
+        return validate_events(doc)
+    if not isinstance(doc, dict):
+        raise TraceValidationError(None, f"trace must be an object or array, got {type(doc).__name__}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise TraceValidationError(None, "object-format trace requires a traceEvents array")
+    if "displayTimeUnit" in doc and doc["displayTimeUnit"] not in ("ms", "ns"):
+        raise TraceValidationError(None, f"displayTimeUnit must be 'ms' or 'ns', got {doc['displayTimeUnit']!r}")
+    return validate_events(events)

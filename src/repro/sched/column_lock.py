@@ -16,10 +16,46 @@ their cost.
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["ColumnLockArray"]
+__all__ = ["ColumnLockArray", "LockContentionStats"]
+
+
+@dataclass(frozen=True)
+class LockContentionStats:
+    """Snapshot of one lock array's contention counters.
+
+    ``attempts``
+        every ``try_acquire`` call (successful or not);
+    ``waits``
+        failed acquisitions — the worker found the column held and must
+        retry (the Fig. 6 wait events);
+    ``aborts``
+        workers that gave up on a column via :meth:`ColumnLockArray.abort`
+        instead of retrying (used by schedulers that reorder on contention);
+    ``releases``
+        completed block hand-backs.
+    """
+
+    attempts: int = 0
+    waits: int = 0
+    aborts: int = 0
+    releases: int = 0
+
+    @property
+    def wait_fraction(self) -> float:
+        """Fraction of acquire attempts that hit a held column."""
+        return self.waits / self.attempts if self.attempts else 0.0
+
+    def __add__(self, other: "LockContentionStats") -> "LockContentionStats":
+        return LockContentionStats(
+            self.attempts + other.attempts,
+            self.waits + other.waits,
+            self.aborts + other.aborts,
+            self.releases + other.releases,
+        )
 
 
 class ColumnLockArray:
@@ -40,6 +76,25 @@ class ColumnLockArray:
         self.attempts = 0
         #: failed acquire attempts (the wait events of Fig. 6)
         self.contended = 0
+        #: workers that gave up on a held column rather than retrying
+        self.aborts = 0
+        #: completed releases
+        self.releases = 0
+
+    @property
+    def waits(self) -> int:
+        """Alias for :attr:`contended` under the repro.* naming scheme."""
+        return self.contended
+
+    def stats(self) -> LockContentionStats:
+        """Consistent snapshot of the contention counters."""
+        with self._mutex:
+            return LockContentionStats(
+                attempts=self.attempts,
+                waits=self.contended,
+                aborts=self.aborts,
+                releases=self.releases,
+            )
 
     def try_acquire(self, column: int, worker: int) -> bool:
         """Atomically claim ``column`` for ``worker``; False when held.
@@ -55,6 +110,28 @@ class ColumnLockArray:
             self._owner[column] = worker
             return True
 
+    def abort(self, column: int, worker: int) -> None:
+        """Record ``worker`` abandoning its claim attempt on a held column.
+
+        A scheduler that reorders around contention (instead of spinning on
+        the same column) calls this so abandonment is distinguishable from a
+        plain wait-and-retry in the contention accounting. The column must
+        currently be held by a *different* worker.
+        """
+        self._check(column, worker)
+        with self._mutex:
+            owner = int(self._owner[column])
+            if owner == worker:
+                raise RuntimeError(
+                    f"worker {worker} aborting column {column} it already owns"
+                )
+            if owner == -1:
+                raise RuntimeError(
+                    f"worker {worker} aborting free column {column}; "
+                    "abort only applies to held columns"
+                )
+            self.aborts += 1
+
     def release(self, column: int, worker: int) -> None:
         """Release a column previously acquired by the same worker."""
         self._check(column, worker)
@@ -65,6 +142,7 @@ class ColumnLockArray:
                     f"{int(self._owner[column])}"
                 )
             self._owner[column] = -1
+            self.releases += 1
 
     def owner(self, column: int) -> int:
         """Current owner of the column, or -1 when free."""

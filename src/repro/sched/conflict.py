@@ -9,6 +9,8 @@ convergence (§7.5).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 __all__ = [
@@ -17,6 +19,7 @@ __all__ = [
     "collision_fraction",
     "expected_collision_fraction",
     "wave_is_conflict_free",
+    "ConflictCounter",
 ]
 
 
@@ -88,3 +91,59 @@ def wave_is_conflict_free(rows: np.ndarray, cols: np.ndarray) -> bool:
     rows = np.asarray(rows)
     cols = np.asarray(cols)
     return len(np.unique(rows)) == len(rows) and len(np.unique(cols)) == len(cols)
+
+
+@dataclass
+class ConflictCounter:
+    """Running Eq. 6 conflict accounting across many waves.
+
+    The §7.5 convergence argument is about a *rate* — how often concurrent
+    updates touch the same feature row as ``s`` approaches ``min(m, n)``.
+    This counter accumulates it over an epoch (or a whole run) instead of
+    one wave at a time:
+
+    ``attempts``
+        samples observed (each sample in a wave is one attempted update);
+    ``conflicts``
+        samples whose row or column duplicated an earlier sample in the
+        same wave — the updates lost or stale under racing execution;
+    ``aborts``
+        waves abandoned wholesale (a scheduler may drop a wave rather than
+        execute it when the conflict check fails).
+    """
+
+    attempts: int = 0
+    conflicts: int = 0
+    aborts: int = 0
+    waves: int = 0
+
+    def observe_wave(self, rows: np.ndarray, cols: np.ndarray) -> float:
+        """Accumulate one wave; returns its collision fraction."""
+        rows = np.asarray(rows)
+        n = len(rows)
+        frac = collision_fraction(rows, cols)
+        self.attempts += n
+        self.conflicts += round(frac * n)
+        self.waves += 1
+        return frac
+
+    def abort_wave(self, n_samples: int) -> None:
+        """Record a wave dropped before execution (its samples count as
+        attempts but not conflicts)."""
+        if n_samples < 0:
+            raise ValueError(f"n_samples must be non-negative, got {n_samples}")
+        self.attempts += n_samples
+        self.aborts += 1
+        self.waves += 1
+
+    @property
+    def conflict_rate(self) -> float:
+        """Conflicting fraction of all attempted updates."""
+        return self.conflicts / self.attempts if self.attempts else 0.0
+
+    def merge(self, other: "ConflictCounter") -> "ConflictCounter":
+        self.attempts += other.attempts
+        self.conflicts += other.conflicts
+        self.aborts += other.aborts
+        self.waves += other.waves
+        return self

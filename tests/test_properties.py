@@ -42,7 +42,10 @@ class TestConflictProperties:
     @settings(max_examples=60)
     def test_collision_fraction_matches_serial_count(self, data):
         rows, cols, _, _ = data
-        assert collision_fraction(rows, cols) * len(rows) == count_conflicts(rows, cols)
+        # frac is an exact ratio but (c/n)*n is not always c in floats
+        assert round(collision_fraction(rows, cols) * len(rows)) == count_conflicts(
+            rows, cols
+        )
 
     @given(coo_samples())
     @settings(max_examples=60)
