@@ -9,6 +9,7 @@ metadata. Loading restores a :class:`~repro.core.model.FactorModel` that
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -36,21 +37,36 @@ def save_model(
     epoch: int = 0,
     metadata: dict | None = None,
 ) -> Path:
-    """Write a checkpoint to ``path`` (``.npz``). Returns the path written."""
+    """Write a checkpoint to ``path`` (``.npz``). Returns the path written.
+
+    The write is atomic: bytes land in a temporary sibling file which is
+    fsynced and then ``os.replace``d over ``path``, so a crash mid-save can
+    truncate only the temporary — the previous checkpoint (recovery's
+    rollback target) survives intact.
+    """
     if epoch < 0:
         raise ValueError(f"epoch must be non-negative, got {epoch}")
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
     meta = dict(metadata or {})
-    np.savez_compressed(
-        path,
-        p=model.p,
-        q=model.q,
-        epoch=np.int64(epoch),
-        version=np.int64(_FORMAT_VERSION),
-        metadata=np.array(json.dumps(meta)),
-    )
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(
+                fh,
+                p=model.p,
+                q=model.q,
+                epoch=np.int64(epoch),
+                version=np.int64(_FORMAT_VERSION),
+                metadata=np.array(json.dumps(meta)),
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
     return path
 
 

@@ -16,6 +16,16 @@ them on parallel devices — device parallelism here changes *time*, not
 A :class:`TransferLedger` records every modelled byte crossing the
 interconnect so performance experiments (Fig. 16, Table 4 Hugewiki rows) can
 charge PCIe/NVLink costs faithfully.
+
+Fault tolerance: :meth:`MultiDeviceSGD.attach_faults` installs a
+:class:`repro.resilience.faults.FaultInjector`. Staged transfers then pass
+through a bounded retry policy (failed attempts recharge the ledger and
+raise :class:`~repro.resilience.faults.TransferFaultError` on exhaustion),
+and a device killed mid-epoch degrades gracefully — its refused block and
+all still-pending blocks rebalance across the surviving devices, so the
+epoch completes with every block processed exactly once, just slower. With
+no injector attached the code path (and every RNG draw) is identical to the
+fault-free implementation.
 """
 
 from __future__ import annotations
@@ -46,12 +56,26 @@ class TransferLedger:
     d2h_bytes: int = 0
     dispatches: int = 0
     rounds: int = 0
+    #: bytes retransmitted after injected transfer faults (included above)
+    retried_bytes: int = 0
 
     def charge_dispatch(self, block: BlockView, k: int, feature_bytes: int) -> None:
         feat = block.feature_bytes(k, feature_bytes)
         self.h2d_bytes += block.coo_bytes() + feat
         self.d2h_bytes += feat  # samples are read-only; only features return
         self.dispatches += 1
+
+    def charge_retries(
+        self, block: BlockView, k: int, feature_bytes: int,
+        h2d_failures: int, d2h_failures: int,
+    ) -> None:
+        """Recharge the wire for every failed attempt's retransmission."""
+        feat = block.feature_bytes(k, feature_bytes)
+        h2d_extra = (block.coo_bytes() + feat) * h2d_failures
+        d2h_extra = feat * d2h_failures
+        self.h2d_bytes += h2d_extra
+        self.d2h_bytes += d2h_extra
+        self.retried_bytes += h2d_extra + d2h_extra
 
     @property
     def total_bytes(self) -> int:
@@ -93,6 +117,32 @@ class MultiDeviceSGD:
         self._rng = np.random.default_rng(self.seed)
         self._partition: GridPartition | None = None
         self.ledger = TransferLedger()
+        self._injector = None
+        self._retry = None
+
+    # ------------------------------------------------------------------
+    def attach_faults(self, faults, retry=None) -> "MultiDeviceSGD":
+        """Install a fault model for every subsequent epoch.
+
+        ``faults`` is a :class:`repro.resilience.faults.FaultPlan` (wrapped
+        in a fresh injector) or a ready :class:`FaultInjector` (shared
+        state — e.g. one carrying an explicit registry). ``retry`` defaults
+        to :class:`repro.resilience.retry.RetryPolicy()`. Device deaths
+        persist across epochs, as they would on real hardware.
+        """
+        from repro.resilience.faults import FaultInjector
+        from repro.resilience.retry import RetryPolicy
+
+        self._injector = (
+            faults if isinstance(faults, FaultInjector) else FaultInjector(faults)
+        )
+        self._retry = retry if retry is not None else RetryPolicy()
+        return self
+
+    @property
+    def injector(self):
+        """The attached :class:`FaultInjector`, or None when fault-free."""
+        return self._injector
 
     # ------------------------------------------------------------------
     def partition_for(self, ratings: RatingMatrix) -> GridPartition:
@@ -100,15 +150,19 @@ class MultiDeviceSGD:
             self._partition = GridPartition(ratings, self.i, self.j)
         return self._partition
 
-    def _pick_round(self, pending: set[tuple[int, int]]) -> list[tuple[int, int]]:
-        """Randomly select up to ``n_devices`` pairwise-independent blocks."""
+    def _pick_round(
+        self, pending: set[tuple[int, int]], limit: int | None = None
+    ) -> list[tuple[int, int]]:
+        """Randomly select up to ``limit`` pairwise-independent blocks
+        (default: one per device)."""
+        limit = self.n_devices if limit is None else limit
         chosen: list[tuple[int, int]] = []
         used_rows: set[int] = set()
         used_cols: set[int] = set()
         order = list(pending)
         self._rng.shuffle(order)
         for blk in order:
-            if len(chosen) == self.n_devices:
+            if len(chosen) == limit:
                 break
             if blk[0] not in used_rows and blk[1] not in used_cols:
                 chosen.append(blk)
@@ -152,6 +206,14 @@ class MultiDeviceSGD:
         ``hooks`` receives ``on_transfer`` events for every staged block's
         modelled H2D/D2H bytes (the :class:`TransferLedger` traffic) and one
         ``on_batch`` per block executed.
+
+        With faults attached (:meth:`attach_faults`), staged transfers
+        retry under the bounded policy (exhaustion raises
+        :class:`~repro.resilience.faults.TransferFaultError`) and a device
+        death mid-epoch rebalances its blocks across survivors — the epoch
+        still processes every block exactly once. Losing the *last* device
+        with blocks pending raises
+        :class:`~repro.resilience.faults.DeviceLostError`.
         """
         lam_q = lam_p if lam_q is None else lam_q
         hooks = resolve_hooks(hooks)
@@ -160,19 +222,45 @@ class MultiDeviceSGD:
         feature_bytes = 2 if model.half_precision else 4
         pending = {(bi, bj) for bi in range(part.i) for bj in range(part.j)}
         updates = 0
+        injector = self._injector
+        alive = (
+            list(range(self.n_devices))
+            if injector is None
+            else [d for d in range(self.n_devices) if injector.alive(d)]
+        )
         while pending:
-            round_blocks = self._pick_round(pending)
+            if injector is not None and not alive:
+                from repro.resilience.faults import DeviceLostError
+
+                raise DeviceLostError(
+                    f"all {self.n_devices} devices lost with "
+                    f"{len(pending)} blocks pending"
+                )
+            round_blocks = self._pick_round(pending, len(alive))
             if not round_blocks:
                 raise RuntimeError("no independent block available — scheduling bug")
             self.ledger.rounds += 1
-            for device, (bi, bj) in enumerate(round_blocks):
+            if injector is not None and len(alive) < self.n_devices:
+                injector.emit("degraded_rounds")
+            for slot, (bi, bj) in enumerate(round_blocks):
+                device = alive[slot]
+                if injector is not None and not injector.begin_dispatch(device):
+                    # device died: its block stays pending and, with every
+                    # other unfinished block, rebalances across survivors
+                    injector.emit("blocks_rebalanced", len(pending))
+                    continue
                 view = part.block(bi, bj)
+                if injector is not None:
+                    self._stage_with_retry(injector, device, view, model.k,
+                                           feature_bytes)
                 self.ledger.charge_dispatch(view, model.k, feature_bytes)
                 n = self._device_pass(
                     model, ratings, view.sample_index, lr, lam_p, lam_q
                 )
                 updates += n
                 pending.discard((bi, bj))
+                if injector is not None:
+                    injector.complete_dispatch(device)
                 if observe:
                     feat = view.feature_bytes(model.k, feature_bytes)
                     hooks.on_transfer(
@@ -197,4 +285,30 @@ class MultiDeviceSGD:
                             n_updates=n,
                         )
                     )
+            if injector is not None:
+                alive = [d for d in alive if injector.alive(d)]
         return updates
+
+    # ------------------------------------------------------------------
+    def _stage_with_retry(
+        self, injector, device: int, view: BlockView, k: int, feature_bytes: int
+    ) -> None:
+        """Resolve this dispatch's planned transfer faults against the
+        retry policy: count retries, recharge retransmitted bytes, raise
+        ``TransferFaultError`` when a direction exhausts the budget."""
+        h2d_failures = injector.transfer_failures(device, "h2d")
+        d2h_failures = injector.transfer_failures(device, "d2h")
+        if not (h2d_failures or d2h_failures):
+            return
+        backoff = 0.0
+        for direction, failures in (("h2d", h2d_failures), ("d2h", d2h_failures)):
+            if not failures:
+                continue
+            injector.emit("transfer_faults", failures)
+            outcome = self._retry.charge(
+                failures, what=f"{direction} transfer (device {device})"
+            )  # raises TransferFaultError on exhaustion
+            injector.emit("retries", outcome.failures)
+            backoff += outcome.backoff_seconds
+        injector.emit("retry_backoff_seconds", backoff)
+        self.ledger.charge_retries(view, k, feature_bytes, h2d_failures, d2h_failures)

@@ -231,6 +231,13 @@ class CuMFSGD:
         )
 
     def _check_safety(self, ratings: RatingMatrix) -> None:
+        if not np.all(np.isfinite(ratings.vals)):
+            bad = int(np.count_nonzero(~np.isfinite(ratings.vals)))
+            raise ValueError(
+                f"ratings contain {bad} non-finite value(s) (NaN/inf); "
+                "a single poisoned sample corrupts every factor it touches — "
+                "clean the data (e.g. repro.data.preprocess) before training"
+            )
         i, j = self.grid if self.scheme == "multi_device" else (1, 1)
         self.safety = check_parallelism(
             self.workers, ratings.n_rows, ratings.n_cols, i, j

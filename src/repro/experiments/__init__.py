@@ -32,6 +32,7 @@ from repro.experiments import (  # noqa: F401
     fig14,
     fig15,
     fig16,
+    resilience,
     roofline,
     table2,
     table4,

@@ -10,6 +10,16 @@ Subcommands::
     cumf-sgd throughput --gpu maxwell --workers 768
     cumf-sgd trace fig07 --out results/fig07_trace.json       # Chrome trace
     cumf-sgd metrics-dump fig10 --out results/fig10_metrics.json
+    cumf-sgd fault-demo --seed 0 --out results/fault_metrics.json
+    cumf-sgd train netflix-syn --scheme multi_device --fault-plan plan.json
+
+``fault-demo`` replays the documented kill-one-GPU-mid-epoch scenario
+(device 2 of 4 dies after its third block) and prints the
+``repro.resilience.*`` counters; the same ``--seed`` always writes a
+byte-identical metrics dump. ``train --fault-plan`` runs training under an
+injected :class:`repro.resilience.faults.FaultPlan` loaded from JSON, with
+checkpoint/rollback recovery via
+:class:`repro.resilience.trainer.ResilientTrainer`.
 
 ``trace`` and ``metrics-dump`` run an experiment under the
 :mod:`repro.obs` telemetry collector (plus a standard instrumented probe,
@@ -93,6 +103,12 @@ def _build_parser() -> argparse.ArgumentParser:
     train_p.add_argument("--half", action="store_true", help="fp16 feature storage")
     train_p.add_argument("--seed", type=int, default=0)
     train_p.add_argument("--save", type=Path, help="checkpoint path for the model")
+    train_p.add_argument("--fault-plan", type=Path,
+                         help="JSON fault plan (see FaultPlan.save); trains "
+                         "under injection with checkpoint/rollback recovery")
+    train_p.add_argument("--checkpoint-dir", type=Path,
+                         help="recovery checkpoint directory for --fault-plan "
+                         "(default: a temporary directory)")
 
     plan_p = sub.add_parser("plan", help="plan a training configuration (§6.1 + §7.5)")
     plan_p.add_argument("dataset", help="paper-scale data set (netflix/yahoo/hugewiki)")
@@ -131,6 +147,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="skip the standard instrumented probe")
     dump_p.add_argument("--jsonl", action="store_true",
                         help="write JSONL (one metric per line) instead of JSON")
+
+    fault_p = sub.add_parser(
+        "fault-demo",
+        help="kill one GPU mid-epoch under a seeded fault plan; print "
+        "resilience counters",
+    )
+    fault_p.add_argument("--seed", type=int, default=0)
+    fault_p.add_argument("--full", action="store_true", help="full-scale run")
+    fault_p.add_argument("--out", type=Path,
+                         help="write the (deterministic) metrics registry JSON")
     return parser
 
 
@@ -188,8 +214,23 @@ def _cmd_train(args) -> int:
     from repro.metrics.throughput import ThroughputRecord
 
     start = time.perf_counter()
-    history = est.fit(problem.train, epochs=args.epochs, test=problem.test,
-                      verbose=True)
+    trainer = None
+    if args.fault_plan:
+        import tempfile
+
+        from repro.resilience.faults import FaultPlan
+        from repro.resilience.trainer import ResilientTrainer
+
+        plan = FaultPlan.load(args.fault_plan)
+        with tempfile.TemporaryDirectory() as tmp_ckpt:
+            trainer = ResilientTrainer(
+                est, args.checkpoint_dir or tmp_ckpt, fault_plan=plan
+            )
+            history = trainer.fit(problem.train, epochs=args.epochs,
+                                  test=problem.test)
+    else:
+        history = est.fit(problem.train, epochs=args.epochs, test=problem.test,
+                          verbose=True)
     elapsed = time.perf_counter() - start
     record = ThroughputRecord.from_history(
         history, problem.train.nnz, elapsed_seconds=elapsed,
@@ -201,6 +242,10 @@ def _cmd_train(args) -> int:
           f"({record.musec:.1f} M updates/s Eq.7, "
           f"{record.bandwidth_gbs:.2f} GB/s effective)")
     print(f"parallelism: {est.safety}")
+    if trainer is not None and trainer.events:
+        counters = ", ".join(f"{k}={v:g}" for k, v in sorted(trainer.events.items()))
+        print(f"resilience: {counters} (rollbacks {trainer.rollbacks}, "
+              f"lr scale {trainer.lr_scale:g})")
     if args.save:
         from_path = save_model(args.save, est.model, epoch=len(history.epochs),
                                metadata={"dataset": args.dataset})
@@ -271,6 +316,41 @@ def _cmd_metrics_dump(args) -> int:
     return 0 if result.all_checks_pass else 1
 
 
+def _cmd_fault_demo(args) -> int:
+    from repro.experiments.resilience import (
+        DEMO_KILL_AFTER,
+        DEMO_KILL_DEVICE,
+        run_fault_demo,
+    )
+
+    registry, summary = run_fault_demo(seed=args.seed, quick=not args.full)
+    print(f"fault-demo (seed {args.seed}): device {DEMO_KILL_DEVICE} of 4 "
+          f"killed after {DEMO_KILL_AFTER} dispatches, mid-epoch")
+    print(f"  blocks processed: {summary['blocks_processed']}/"
+          f"{summary['grid_blocks']} "
+          f"(unique {summary['blocks_unique']}, "
+          f"{summary['survivor_blocks']} on survivors)")
+    print(f"  updates: {summary['updates']} of {summary['nnz']} ratings")
+    print(f"  dead devices: {summary['dead_devices']}, "
+          f"rounds: {summary['rounds']}, "
+          f"retried bytes: {summary['retried_bytes']}")
+    for name in sorted(k for k in summary if k not in (
+        "updates", "nnz", "blocks_processed", "blocks_unique", "grid_blocks",
+        "survivor_blocks", "dead_devices", "rounds", "retried_bytes",
+    )):
+        print(f"  repro.resilience.{name}: {summary[name]:g}")
+    if args.out:
+        registry.write_json(args.out)
+        print(f"metrics -> {args.out} (byte-identical for the same seed)")
+    complete = (
+        summary["blocks_processed"] == summary["grid_blocks"]
+        and summary["blocks_unique"] == summary["grid_blocks"]
+        and summary["updates"] == summary["nnz"]
+    )
+    print("epoch completed degraded" if complete else "epoch INCOMPLETE")
+    return 0 if complete else 1
+
+
 def _cmd_plan(args) -> int:
     from repro.data.synthetic import PAPER_DATASETS
     from repro.gpusim.planner import plan_training
@@ -329,6 +409,7 @@ def main(argv: list[str] | None = None) -> int:
         "throughput": _cmd_throughput,
         "trace": _cmd_trace,
         "metrics-dump": _cmd_metrics_dump,
+        "fault-demo": _cmd_fault_demo,
     }[args.command](args)
 
 

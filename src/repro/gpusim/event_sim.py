@@ -11,6 +11,13 @@ tails, wave imbalance) can be inspected.
 Workers are modelled as: acquire scheduling resource → process one block of
 ``updates_per_block`` updates, each taking ``update_seconds`` → release →
 repeat, until the epoch's update budget is exhausted.
+
+Fault semantics: a :class:`repro.resilience.faults.FaultPlan` treats each
+worker as a device. A straggler worker's updates take ``slowdown`` times
+longer; a worker killed after ``n`` block grants stops pulling work — its
+share of the epoch budget drains through the survivors (the epoch tail
+lengthens but completes). Killing *every* worker with budget remaining
+raises :class:`~repro.resilience.faults.DeviceLostError`.
 """
 
 from __future__ import annotations
@@ -63,6 +70,7 @@ def simulate_scheduler(
     t_critical: float = 0.0,
     n_columns: int | None = None,
     seed: int = 0,
+    faults=None,
 ) -> EventSimResult:
     """Simulate one epoch of block scheduling.
 
@@ -76,6 +84,10 @@ def simulate_scheduler(
         locks chosen at random; conflicting grants retry (wavefront).
     epoch_updates:
         Total updates in the epoch; workers pull blocks until exhausted.
+    faults:
+        Optional :class:`repro.resilience.faults.FaultPlan` over workers:
+        stragglers slow their updates, killed workers stop pulling blocks
+        after their grant ordinal (survivors absorb the remaining budget).
     """
     if scheme not in ("lockfree", "critical", "column_locks"):
         raise ValueError(f"unknown scheme {scheme!r}")
@@ -110,13 +122,27 @@ def simulate_scheduler(
         for w in range(workers):
             tracer.name_thread(EVENT_SIM_PID, w, f"eventsim:{scheme}:w{w}")
 
+    grants = np.zeros(workers, dtype=np.int64)
+    dead: set[int] = set()
+    registry_early = active_registry()
     while events and issued < epoch_updates:
         now, _, w, phase = heapq.heappop(events)
         if phase != "request":
             continue
+        if faults is not None:
+            killed_after = faults.killed_after(w)
+            if killed_after is not None and grants[w] >= killed_after:
+                if w not in dead:
+                    dead.add(w)
+                    if registry_early is not None:
+                        registry_early.counter("repro.resilience.device_lost").inc()
+                continue  # worker gone: not requeued; survivors absorb the budget
         take = min(updates_per_block, epoch_updates - issued)
         if take <= 0:
             break
+        worker_update_seconds = update_seconds * (
+            1.0 if faults is None else faults.slowdown(w)
+        )
         if scheme == "lockfree":
             start = now
         elif scheme == "critical":
@@ -127,9 +153,10 @@ def simulate_scheduler(
             col = int(rng.integers(0, len(column_free_at)))
             start = max(now, float(column_free_at[col]))
             wait_time += start - now
-            column_free_at[col] = start + take * update_seconds
-        finish = start + take * update_seconds
+            column_free_at[col] = start + take * worker_update_seconds
+        finish = start + take * worker_update_seconds
         per_worker[w] += take
+        grants[w] += 1
         issued += take
         makespan = max(makespan, finish)
         heapq.heappush(events, (finish, next(counter), w, "request"))
@@ -144,6 +171,14 @@ def simulate_scheduler(
                 pid=EVENT_SIM_PID, tid=w, cat="sched",
                 args={"updates": int(take)},
             )
+
+    if issued < epoch_updates:
+        from repro.resilience.faults import DeviceLostError
+
+        raise DeviceLostError(
+            f"all {workers} workers lost with "
+            f"{epoch_updates - issued} updates outstanding"
+        )
 
     registry = active_registry()
     if registry is not None:

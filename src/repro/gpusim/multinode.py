@@ -23,8 +23,14 @@ from repro.core.convergence import hogwild_safety_bound
 from repro.data.synthetic import DatasetSpec
 from repro.gpusim.simulator import cumf_throughput, dataset_fits_gpu
 from repro.gpusim.specs import GPUSpec
+from repro.resilience.faults import DeviceLostError
 
-__all__ = ["NodeSpec", "multinode_epoch_seconds", "multinode_scaling_curve"]
+__all__ = [
+    "NodeSpec",
+    "multinode_epoch_seconds",
+    "multinode_scaling_curve",
+    "degraded_epoch_curve",
+]
 
 
 @dataclass(frozen=True)
@@ -46,6 +52,7 @@ def multinode_epoch_seconds(
     i_blocks: int | None = None,
     j_blocks: int | None = None,
     half_precision: bool = True,
+    failed_gpus: int = 0,
 ) -> float:
     """Modelled epoch seconds on ``n_nodes`` nodes of ``gpus_per_node`` GPUs.
 
@@ -56,11 +63,23 @@ def multinode_epoch_seconds(
     different node than last time must fetch their segments remotely —
     with random scheduling that is a fraction ``1 - 1/n_nodes`` of
     dispatches.
+
+    ``failed_gpus`` models graceful degradation: the grid stays sized for
+    the full fleet (it was laid out before the failures), but each round
+    only feeds the survivors, so the epoch takes proportionally more
+    rounds instead of aborting. Losing every GPU raises
+    :class:`~repro.resilience.faults.DeviceLostError`.
     """
     if n_nodes <= 0:
         raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+    if failed_gpus < 0:
+        raise ValueError(f"failed_gpus must be non-negative, got {failed_gpus}")
     total_gpus = n_nodes * node.gpus_per_node
     g = max(1, total_gpus)
+    if failed_gpus >= total_gpus:
+        raise DeviceLostError(
+            f"all {total_gpus} GPUs lost; no device remains to run the epoch"
+        )
     i = i_blocks if i_blocks is not None else min(dataset.m, 2 * g)
     j = j_blocks if j_blocks is not None else min(dataset.n, 2 * g)
     if min(i, j) < g:
@@ -71,7 +90,8 @@ def multinode_epoch_seconds(
     feature_bytes = 2 if half_precision else 4
     point = cumf_throughput(node.gpu, dataset, half_precision=half_precision)
     total_blocks = i * j
-    rounds = -(-total_blocks // g)
+    survivors = total_gpus - failed_gpus
+    rounds = -(-total_blocks // min(g, survivors))
     block_nnz = dataset.n_train / total_blocks
     seg_bytes = (dataset.m // i + dataset.n // j) * dataset.k * feature_bytes
 
@@ -116,4 +136,35 @@ def multinode_scaling_curve(
         seconds = multinode_epoch_seconds(dataset, node, n, half_precision=half_precision)
         safe = workers < hogwild_safety_bound(dataset.m, dataset.n, i, j)
         out.append((n, seconds, base / seconds, safe))
+    return out
+
+
+def degraded_epoch_curve(
+    dataset: DatasetSpec,
+    node: NodeSpec,
+    n_nodes: int,
+    failure_counts: list[int],
+    half_precision: bool = True,
+) -> list[tuple[int, float, float]]:
+    """``(failed_gpus, epoch_seconds, slowdown_vs_healthy)`` over a
+    failure sweep — the graceful-degradation envelope of one cluster.
+
+    The slowdown quantifies what losing devices *costs* instead of what it
+    *breaks*: rounds grow as ``ceil(blocks / survivors)``, so throughput
+    degrades roughly linearly until the last GPU, which is the contract the
+    runtime coordinator (:class:`repro.core.multi_gpu.MultiDeviceSGD`)
+    honours block-for-block.
+    """
+    if not failure_counts or any(f < 0 for f in failure_counts):
+        raise ValueError("failure_counts must be non-negative")
+    healthy = multinode_epoch_seconds(
+        dataset, node, n_nodes, half_precision=half_precision
+    )
+    out = []
+    for failed in failure_counts:
+        seconds = multinode_epoch_seconds(
+            dataset, node, n_nodes,
+            half_precision=half_precision, failed_gpus=failed,
+        )
+        out.append((failed, seconds, seconds / healthy))
     return out

@@ -17,6 +17,15 @@ The recurrence is the classic software pipeline::
 yielding the epoch makespan and per-phase busy times (to quantify how much
 of the transfer cost the overlap hides — the §7.3 discussion of why Hugewiki
 speeds up more on NVLink).
+
+Fault semantics: a :class:`repro.resilience.faults.FaultPlan` can be
+consulted per block (the block's position in the dispatch order is its
+dispatch ordinal). A planned transfer fault stretches that phase to
+``(failures + 1) x duration + backoff`` — retries are *charged to simulated
+time*, which is exactly where lost interconnect time hurts the §6.2
+overlap. A straggler multiplies the device's compute durations. A device
+killed mid-epoch truncates its dispatch list; the orphaned blocks rebalance
+round-robin onto survivors in :func:`simulate_epoch_staging`.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ from dataclasses import dataclass, field
 
 from repro.obs.context import active_registry, active_tracer
 from repro.obs.tracer import SIM_PID
+from repro.resilience.retry import RetryPolicy
 
 __all__ = ["StagedBlock", "PipelineResult", "StreamPipeline", "simulate_epoch_staging"]
 
@@ -78,7 +88,13 @@ class StreamPipeline:
             raise ValueError(f"pipeline depth must be >= 1, got {depth}")
         self.depth = depth
 
-    def simulate(self, blocks: list[StagedBlock], device: int = 0) -> PipelineResult:
+    def simulate(
+        self,
+        blocks: list[StagedBlock],
+        device: int = 0,
+        faults=None,
+        retry: RetryPolicy | None = None,
+    ) -> PipelineResult:
         """Run the recurrence over the dispatch order given.
 
         When a telemetry collector is active (:func:`repro.obs.activate`),
@@ -86,7 +102,16 @@ class StreamPipeline:
         CUDA stream under ``pid = SIM_PID + device`` — and the device's
         compute-overlap fraction lands in the ambient registry as
         ``repro.sim.stream.overlap_fraction``.
+
+        ``faults`` (a :class:`repro.resilience.faults.FaultPlan`) stretches
+        faulted transfer phases by their retries + backoff and applies the
+        device's straggler slowdown to compute; ``retry`` bounds the
+        retries (default :class:`RetryPolicy()`), raising
+        :class:`~repro.resilience.faults.TransferFaultError` on exhaustion.
         """
+        if faults is not None and retry is None:
+            retry = RetryPolicy()
+        slowdown = 1.0 if faults is None else faults.slowdown(device)
         tracer = active_tracer()
         pid = SIM_PID + device
         if tracer is not None:
@@ -97,13 +122,29 @@ class StreamPipeline:
         comp_done: list[float] = []
         d2h_done: list[float] = []
         timeline: list[tuple[str, float, float, float]] = []
+        h2d_busy = compute_busy = d2h_busy = 0.0
         for b, blk in enumerate(blocks):
+            t_h2d, t_comp, t_d2h = (
+                blk.h2d_seconds, blk.compute_seconds * slowdown, blk.d2h_seconds
+            )
+            if faults is not None:
+                f_h2d = faults.transfer_failures(device, b, "h2d")
+                f_d2h = faults.transfer_failures(device, b, "d2h")
+                if f_h2d:
+                    outcome = retry.charge(f_h2d, what=f"h2d (device {device})")
+                    t_h2d = t_h2d * outcome.attempts + outcome.backoff_seconds
+                if f_d2h:
+                    outcome = retry.charge(f_d2h, what=f"d2h (device {device})")
+                    t_d2h = t_d2h * outcome.attempts + outcome.backoff_seconds
+            h2d_busy += t_h2d
+            compute_busy += t_comp
+            d2h_busy += t_d2h
             h2d_ready = h2d_done[b - 1] if b >= 1 else 0.0
             if b >= self.depth:
                 h2d_ready = max(h2d_ready, d2h_done[b - self.depth])
-            h2d = h2d_ready + blk.h2d_seconds
-            comp = max(comp_done[b - 1] if b >= 1 else 0.0, h2d) + blk.compute_seconds
-            d2h = max(d2h_done[b - 1] if b >= 1 else 0.0, comp) + blk.d2h_seconds
+            h2d = h2d_ready + t_h2d
+            comp = max(comp_done[b - 1] if b >= 1 else 0.0, h2d) + t_comp
+            d2h = max(d2h_done[b - 1] if b >= 1 else 0.0, comp) + t_d2h
             h2d_done.append(h2d)
             comp_done.append(comp)
             d2h_done.append(d2h)
@@ -111,9 +152,9 @@ class StreamPipeline:
             timeline.append((label, h2d, comp, d2h))
             if tracer is not None:
                 for (stream, tid), done, dur in (
-                    (_STREAM_TIDS[0], h2d, blk.h2d_seconds),
-                    (_STREAM_TIDS[1], comp, blk.compute_seconds),
-                    (_STREAM_TIDS[2], d2h, blk.d2h_seconds),
+                    (_STREAM_TIDS[0], h2d, t_h2d),
+                    (_STREAM_TIDS[1], comp, t_comp),
+                    (_STREAM_TIDS[2], d2h, t_d2h),
                 ):
                     tracer.add_span(
                         f"{stream} {label}",
@@ -126,9 +167,9 @@ class StreamPipeline:
                     )
         result = PipelineResult(
             makespan=d2h_done[-1] if d2h_done else 0.0,
-            h2d_busy=sum(b.h2d_seconds for b in blocks),
-            compute_busy=sum(b.compute_seconds for b in blocks),
-            d2h_busy=sum(b.d2h_seconds for b in blocks),
+            h2d_busy=h2d_busy,
+            compute_busy=compute_busy,
+            d2h_busy=d2h_busy,
             timeline=timeline,
         )
         registry = active_registry()
@@ -143,16 +184,64 @@ class StreamPipeline:
 
 
 def simulate_epoch_staging(
-    per_device_blocks: list[list[StagedBlock]], depth: int = 2
+    per_device_blocks: list[list[StagedBlock]],
+    depth: int = 2,
+    faults=None,
+    retry: RetryPolicy | None = None,
 ) -> tuple[float, list[PipelineResult]]:
     """Multi-GPU epoch: devices pipeline independently; the epoch ends when
     the slowest device finishes (the epoch-boundary synchronization that
-    makes Fig. 16's 2-GPU scaling sub-linear)."""
+    makes Fig. 16's 2-GPU scaling sub-linear).
+
+    With ``faults``, a device killed after ``n`` dispatches keeps only its
+    first ``n`` blocks; the orphans rebalance round-robin onto surviving
+    devices (appended to their dispatch lists — degraded throughput, not an
+    aborted epoch). Raises
+    :class:`~repro.resilience.faults.DeviceLostError` when every device is
+    dead while blocks remain.
+    """
     if not per_device_blocks:
         raise ValueError("need at least one device")
+    if faults is not None:
+        per_device_blocks = _rebalance_dead_devices(per_device_blocks, faults)
     pipeline = StreamPipeline(depth=depth)
     results = [
-        pipeline.simulate(blocks, device=d)
+        pipeline.simulate(blocks, device=d, faults=faults, retry=retry)
         for d, blocks in enumerate(per_device_blocks)
     ]
     return max(r.makespan for r in results), results
+
+
+def _rebalance_dead_devices(
+    per_device_blocks: list[list[StagedBlock]], faults
+) -> list[list[StagedBlock]]:
+    """Truncate killed devices' dispatch lists and hand the orphaned blocks
+    round-robin to survivors (deterministic: survivors in device order)."""
+    from repro.resilience.faults import DeviceLostError
+
+    kept: list[list[StagedBlock]] = []
+    orphans: list[StagedBlock] = []
+    survivors: list[int] = []
+    for device, blocks in enumerate(per_device_blocks):
+        killed_after = faults.killed_after(device)
+        if killed_after is None:
+            kept.append(list(blocks))
+            survivors.append(device)
+        else:
+            kept.append(list(blocks[:killed_after]))
+            orphans.extend(blocks[killed_after:])
+    if orphans and not survivors:
+        raise DeviceLostError(
+            f"all {len(per_device_blocks)} devices lost with "
+            f"{len(orphans)} blocks pending"
+        )
+    registry = active_registry()
+    if registry is not None:
+        dead = len(per_device_blocks) - len(survivors)
+        if dead:
+            registry.counter("repro.resilience.device_lost").inc(dead)
+        if orphans:
+            registry.counter("repro.resilience.blocks_rebalanced").inc(len(orphans))
+    for n, blk in enumerate(orphans):
+        kept[survivors[n % len(survivors)]].append(blk)
+    return kept

@@ -1,0 +1,49 @@
+"""Fault injection and resilient training.
+
+Three layers, mirroring how a production MF service survives failure:
+
+* :mod:`repro.resilience.faults` — the deterministic, seedable
+  :class:`FaultPlan` / :class:`FaultInjector` pair describing transfer
+  failures, device deaths, and stragglers, plus the typed
+  :class:`FaultError` hierarchy;
+* :mod:`repro.resilience.retry` — :class:`RetryPolicy`, bounded retries
+  with exponential backoff charged to simulated time;
+* :mod:`repro.resilience.trainer` — :class:`ResilientTrainer`, the
+  checkpoint/rollback recovery loop over :class:`repro.core.trainer.CuMFSGD`.
+
+The runtime consumers are :class:`repro.core.multi_gpu.MultiDeviceSGD`
+(graceful degradation: a dead device's pending blocks rebalance across
+survivors) and the :mod:`repro.gpusim` substrate (streams, event sim,
+multinode model all take fault plans). Every fault and recovery action is
+observable as ``repro.resilience.*`` metrics; see ``docs/RESILIENCE.md``.
+"""
+
+from repro.resilience.faults import (
+    DeviceFailure,
+    DeviceLostError,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    Straggler,
+    TrainingDivergedError,
+    TransferFault,
+    TransferFaultError,
+)
+from repro.resilience.retry import RetryOutcome, RetryPolicy
+from repro.resilience.trainer import RecoveryEvent, ResilientTrainer
+
+__all__ = [
+    "FaultError",
+    "TransferFaultError",
+    "DeviceLostError",
+    "TrainingDivergedError",
+    "TransferFault",
+    "DeviceFailure",
+    "Straggler",
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
+    "RetryOutcome",
+    "ResilientTrainer",
+    "RecoveryEvent",
+]

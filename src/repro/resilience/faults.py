@@ -1,0 +1,357 @@
+"""Deterministic fault model: what fails, when, and how it is observed.
+
+A production MF service must survive device loss, flaky interconnects, and
+SGD divergence; the paper's §6 workload-partition scheme stages blocks over
+PCIe/NVLink and assumes every transfer and every device pass succeeds. This
+module supplies the missing failure vocabulary:
+
+* :class:`FaultPlan` — a declarative, seedable, serializable description of
+  every fault in a run: transfer failures keyed by (device, dispatch,
+  direction), device deaths keyed by dispatch ordinal, and stragglers.
+  The plan is *pure data*: querying it never mutates anything, so the
+  numeric executor (:class:`repro.core.multi_gpu.MultiDeviceSGD`) and the
+  time simulator (:mod:`repro.gpusim.streams`) can consult the same plan
+  without entangling their state.
+* :class:`FaultInjector` — the stateful runtime view: it tracks each
+  device's dispatch ordinal and death, and mirrors every fault event into
+  the ambient metrics registry under ``repro.resilience.*`` (and into its
+  own :attr:`~FaultInjector.events` dict, so counts are readable without a
+  collector).
+* :class:`FaultError` and subclasses — the typed errors raised when a
+  fault is *not* recoverable (retries exhausted, every device lost).
+
+Determinism contract: the same plan + the same seeds elsewhere produce the
+same dispatch schedule, the same fault sequence, and byte-identical metric
+dumps (asserted by ``tests/test_resilience.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.context import active_registry
+
+__all__ = [
+    "FaultError",
+    "TransferFaultError",
+    "DeviceLostError",
+    "TrainingDivergedError",
+    "TransferFault",
+    "DeviceFailure",
+    "Straggler",
+    "FaultPlan",
+    "FaultInjector",
+]
+
+_DIRECTIONS = ("h2d", "d2h", "any")
+
+
+class FaultError(RuntimeError):
+    """An injected fault the runtime could not recover from."""
+
+
+class TransferFaultError(FaultError):
+    """A staged transfer kept failing until the retry budget ran out."""
+
+
+class DeviceLostError(FaultError):
+    """No device remains to make progress on the pending workload."""
+
+
+class TrainingDivergedError(FaultError):
+    """Divergence persisted after the rollback budget was exhausted."""
+
+
+# ----------------------------------------------------------------------
+# fault specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TransferFault:
+    """``failures`` consecutive failed attempts of one staged transfer.
+
+    ``dispatch`` is the 0-based ordinal of the dispatch *on that device*
+    (the b-th block it stages), so the spec stays meaningful under any
+    block-selection order.
+    """
+
+    device: int
+    dispatch: int
+    direction: str = "h2d"
+    failures: int = 1
+
+    def __post_init__(self) -> None:
+        if self.direction not in _DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {_DIRECTIONS}, got {self.direction!r}"
+            )
+        if self.failures < 1:
+            raise ValueError(f"failures must be >= 1, got {self.failures}")
+        if self.device < 0 or self.dispatch < 0:
+            raise ValueError("device and dispatch must be non-negative")
+
+
+@dataclass(frozen=True)
+class DeviceFailure:
+    """The device dies when asked to perform its ``after_dispatches``-th
+    dispatch (0-based): it completes ``after_dispatches`` blocks, then is
+    gone — the refused block must be rebalanced to a survivor."""
+
+    device: int
+    after_dispatches: int = 0
+
+    def __post_init__(self) -> None:
+        if self.device < 0 or self.after_dispatches < 0:
+            raise ValueError("device and after_dispatches must be non-negative")
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """A slow device: its modelled compute runs ``slowdown`` times longer."""
+
+    device: int
+    slowdown: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1.0, got {self.slowdown}")
+
+
+# ----------------------------------------------------------------------
+# the plan
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultPlan:
+    """Every fault of one run, as pure data.
+
+    Build one explicitly, via :meth:`random` (seeded), or load one from the
+    JSON the ``--fault-plan`` CLI flag accepts. Queries are side-effect
+    free; the stateful bookkeeping lives in :class:`FaultInjector`.
+    """
+
+    transfer_faults: tuple[TransferFault, ...] = ()
+    device_failures: tuple[DeviceFailure, ...] = ()
+    stragglers: tuple[Straggler, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "transfer_faults", tuple(self.transfer_faults))
+        object.__setattr__(self, "device_failures", tuple(self.device_failures))
+        object.__setattr__(self, "stragglers", tuple(self.stragglers))
+        kills = [f.device for f in self.device_failures]
+        if len(kills) != len(set(kills)):
+            raise ValueError("at most one DeviceFailure per device")
+        slow = [s.device for s in self.stragglers]
+        if len(slow) != len(set(slow)):
+            raise ValueError("at most one Straggler per device")
+
+    # -- queries --------------------------------------------------------
+    def transfer_failures(self, device: int, dispatch: int, direction: str) -> int:
+        """Planned consecutive failures for one transfer attempt site."""
+        return sum(
+            tf.failures
+            for tf in self.transfer_faults
+            if tf.device == device
+            and tf.dispatch == dispatch
+            and tf.direction in (direction, "any")
+        )
+
+    def killed_after(self, device: int) -> int | None:
+        """Dispatch ordinal at which the device dies, or None if it never does."""
+        for f in self.device_failures:
+            if f.device == device:
+                return f.after_dispatches
+        return None
+
+    def slowdown(self, device: int) -> float:
+        for s in self.stragglers:
+            if s.device == device:
+                return s.slowdown
+        return 1.0
+
+    @property
+    def empty(self) -> bool:
+        return not (self.transfer_faults or self.device_failures or self.stragglers)
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def kill_one(cls, device: int, after_dispatches: int, seed: int = 0) -> "FaultPlan":
+        """The documented kill-one-GPU-mid-epoch scenario."""
+        return cls(
+            device_failures=(DeviceFailure(device, after_dispatches),), seed=seed
+        )
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_devices: int,
+        dispatches_per_device: int = 8,
+        transfer_fault_rate: float = 0.05,
+        max_failures: int = 2,
+        kill_devices: int = 0,
+        straggler_devices: int = 0,
+        straggler_slowdown: float = 2.0,
+    ) -> "FaultPlan":
+        """A deterministic plan drawn from ``seed`` — same seed, same plan."""
+        if n_devices <= 0:
+            raise ValueError(f"n_devices must be positive, got {n_devices}")
+        if not 0.0 <= transfer_fault_rate <= 1.0:
+            raise ValueError("transfer_fault_rate must be in [0, 1]")
+        if kill_devices + straggler_devices > n_devices:
+            raise ValueError("more faulted devices than devices")
+        rng = np.random.default_rng(seed)
+        faults: list[TransferFault] = []
+        for device in range(n_devices):
+            for dispatch in range(dispatches_per_device):
+                for direction in ("h2d", "d2h"):
+                    if rng.random() < transfer_fault_rate:
+                        faults.append(
+                            TransferFault(
+                                device=device,
+                                dispatch=dispatch,
+                                direction=direction,
+                                failures=int(rng.integers(1, max_failures + 1)),
+                            )
+                        )
+        order = rng.permutation(n_devices)
+        kills = tuple(
+            DeviceFailure(
+                device=int(order[i]),
+                after_dispatches=int(rng.integers(0, max(1, dispatches_per_device))),
+            )
+            for i in range(kill_devices)
+        )
+        stragglers = tuple(
+            Straggler(device=int(order[kill_devices + i]), slowdown=straggler_slowdown)
+            for i in range(straggler_devices)
+        )
+        return cls(
+            transfer_faults=tuple(faults),
+            device_failures=kills,
+            stragglers=stragglers,
+            seed=seed,
+        )
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "transfer_faults": [
+                {
+                    "device": tf.device,
+                    "dispatch": tf.dispatch,
+                    "direction": tf.direction,
+                    "failures": tf.failures,
+                }
+                for tf in self.transfer_faults
+            ],
+            "device_failures": [
+                {"device": f.device, "after_dispatches": f.after_dispatches}
+                for f in self.device_failures
+            ],
+            "stragglers": [
+                {"device": s.device, "slowdown": s.slowdown} for s in self.stragglers
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "FaultPlan":
+        return cls(
+            transfer_faults=tuple(
+                TransferFault(**tf) for tf in state.get("transfer_faults", ())
+            ),
+            device_failures=tuple(
+                DeviceFailure(**f) for f in state.get("device_failures", ())
+            ),
+            stragglers=tuple(Straggler(**s) for s in state.get("stragglers", ())),
+            seed=int(state.get("seed", 0)),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        return cls.from_json(Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+# the stateful runtime view
+# ----------------------------------------------------------------------
+class FaultInjector:
+    """Stateful consumer of a :class:`FaultPlan` for the numeric executor.
+
+    Tracks per-device dispatch ordinals and deaths; every fault event is
+    counted in :attr:`events` (always) and mirrored to the ambient
+    :class:`~repro.obs.registry.MetricsRegistry` as a
+    ``repro.resilience.*`` counter (when a collector is activated, or when
+    an explicit ``registry`` is given — explicit wins, which is what the
+    deterministic ``fault-demo`` dump relies on).
+    """
+
+    def __init__(self, plan: FaultPlan, registry=None) -> None:
+        self.plan = plan
+        self._registry = registry
+        self._dispatches: dict[int, int] = {}
+        self._dead: set[int] = set()
+        #: local fault-event counts, independent of any registry
+        self.events: dict[str, float] = {}
+
+    # -- metrics --------------------------------------------------------
+    def emit(self, name: str, amount: float = 1.0) -> None:
+        """Count one resilience event locally and in the metrics registry."""
+        self.events[name] = self.events.get(name, 0.0) + amount
+        registry = self._registry if self._registry is not None else active_registry()
+        if registry is not None:
+            registry.counter(f"repro.resilience.{name}").inc(amount)
+
+    # -- device lifecycle ----------------------------------------------
+    def alive(self, device: int) -> bool:
+        return device not in self._dead
+
+    @property
+    def dead_devices(self) -> frozenset[int]:
+        return frozenset(self._dead)
+
+    def dispatch_ordinal(self, device: int) -> int:
+        """How many dispatches the device has completed so far."""
+        return self._dispatches.get(device, 0)
+
+    def begin_dispatch(self, device: int) -> bool:
+        """May ``device`` take one more block? False once it is (or just
+        now becomes) dead; the refused block stays with the caller."""
+        if device in self._dead:
+            return False
+        killed_after = self.plan.killed_after(device)
+        if killed_after is not None and self._dispatches.get(device, 0) >= killed_after:
+            self._dead.add(device)
+            self.emit("device_lost")
+            return False
+        return True
+
+    def complete_dispatch(self, device: int) -> None:
+        self._dispatches[device] = self._dispatches.get(device, 0) + 1
+
+    # -- transfer faults ------------------------------------------------
+    def transfer_failures(self, device: int, direction: str) -> int:
+        """Planned failures for the device's *current* dispatch ordinal."""
+        return self.plan.transfer_failures(
+            device, self._dispatches.get(device, 0), direction
+        )
+
+    def slowdown(self, device: int) -> float:
+        return self.plan.slowdown(device)

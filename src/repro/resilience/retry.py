@@ -1,0 +1,80 @@
+"""Bounded retries with exponential backoff, charged to *simulated* time.
+
+The reproduction's transfers are modelled, not executed, so a "retry" does
+not sleep: it charges the retransmission to the transfer ledger, counts the
+attempt in ``repro.resilience.*`` metrics, and hands the backoff seconds to
+whichever clock owns time — the :mod:`repro.gpusim.streams` pipeline adds
+them to the staged block's phase duration, the numeric executor only counts
+them. Policies are pure data, so the same plan + policy is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.resilience.faults import TransferFaultError
+
+__all__ = ["RetryPolicy", "RetryOutcome"]
+
+
+@dataclass(frozen=True)
+class RetryOutcome:
+    """What one fault site cost: attempts used and backoff charged."""
+
+    attempts: int
+    failures: int
+    backoff_seconds: float
+
+    @property
+    def retried(self) -> bool:
+        return self.failures > 0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """``max_attempts`` tries; attempt ``a`` (0-based) waits
+    ``backoff_seconds * backoff_multiplier**a`` before retrying."""
+
+    max_attempts: int = 3
+    backoff_seconds: float = 1e-3
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1.0")
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff charged after the ``attempt``-th failure (0-based)."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be non-negative, got {attempt}")
+        return self.backoff_seconds * self.backoff_multiplier**attempt
+
+    def total_backoff(self, failures: int) -> float:
+        """Backoff accumulated over ``failures`` consecutive failures."""
+        return sum(self.backoff(a) for a in range(failures))
+
+    def charge(self, planned_failures: int, what: str = "transfer") -> RetryOutcome:
+        """Resolve one fault site with ``planned_failures`` consecutive
+        failures against this policy.
+
+        Raises :class:`~repro.resilience.faults.TransferFaultError` when the
+        failures exhaust ``max_attempts``; otherwise returns the attempts
+        used and the backoff seconds to charge to simulated time.
+        """
+        if planned_failures < 0:
+            raise ValueError("planned_failures must be non-negative")
+        if planned_failures >= self.max_attempts:
+            raise TransferFaultError(
+                f"{what} failed {self.max_attempts} consecutive attempts "
+                f"(retry budget exhausted after "
+                f"{self.total_backoff(self.max_attempts - 1):.6f}s backoff)"
+            )
+        return RetryOutcome(
+            attempts=planned_failures + 1,
+            failures=planned_failures,
+            backoff_seconds=self.total_backoff(planned_failures),
+        )

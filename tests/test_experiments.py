@@ -103,8 +103,25 @@ class TestFastExperiments:
             "BIDMach-M", "BIDMach-P", "cuMF_SGD-M", "cuMF_SGD-P"
         }
 
+    @pytest.mark.resilience
+    def test_resilience_experiment_checks_pass(self):
+        import numpy as np
+
+        with np.errstate(over="ignore", invalid="ignore"):
+            result = run_experiment("resilience", quick=True)
+        assert result.rows
+        assert result.all_checks_pass, f"failed: {result.failed_checks()}"
+
 
 class TestCLI:
+    def test_fault_demo(self, tmp_path, capsys):
+        out = tmp_path / "fault.json"
+        assert main(["fault-demo", "--seed", "0", "--out", str(out)]) == 0
+        assert "epoch completed degraded" in capsys.readouterr().out
+        first = out.read_bytes()
+        assert main(["fault-demo", "--seed", "0", "--out", str(out)]) == 0
+        assert out.read_bytes() == first  # byte-identical for the same seed
+
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out

@@ -1,15 +1,27 @@
-"""Failure-injection tests: corrupted inputs and pathological data must
-produce clean, diagnosable errors — not silent garbage."""
+"""Failure-injection tests: corrupted inputs, pathological data, and
+simulated runtime faults must produce clean, diagnosable errors or
+documented recovery — not silent garbage."""
 
 import numpy as np
 import pytest
 
-from repro.analysis.diagnostics import detect_divergence
 from repro.core.checkpoint import load_model, save_model
 from repro.core.lr_schedule import ConstantSchedule
+from repro.core.model import FactorModel
+from repro.core.multi_gpu import MultiDeviceSGD
 from repro.core.trainer import CuMFSGD
 from repro.data.container import RatingMatrix
 from repro.data.io import load_coo, save_coo
+from repro.obs.hooks import RecordingHooks
+from repro.resilience import (
+    DeviceFailure,
+    FaultError,
+    FaultPlan,
+    ResilientTrainer,
+    RetryPolicy,
+    TransferFault,
+    TransferFaultError,
+)
 
 
 class TestCorruptedFiles:
@@ -59,12 +71,17 @@ class TestPathologicalData:
             n,
         )
 
-    def test_nan_ratings_surface_as_divergence(self):
+    def test_nan_ratings_rejected_before_training(self):
         bad = self._ratings_with([1.0, float("nan"), 2.0] + [0.5] * 20)
         est = CuMFSGD(k=4, workers=4, seed=0)
-        hist = est.fit(bad, epochs=2, test=bad)
-        assert hist.diverged
-        assert detect_divergence(hist) == "diverging"
+        with pytest.raises(ValueError, match="non-finite"):
+            est.fit(bad, epochs=2, test=bad)
+
+    def test_inf_ratings_rejected_with_count(self):
+        bad = self._ratings_with([1.0, float("inf"), float("-inf")] + [0.5] * 20)
+        est = CuMFSGD(k=4, workers=4, seed=0)
+        with pytest.raises(ValueError, match="2 non-finite value"):
+            est.fit(bad, epochs=1)
 
     def test_huge_learning_rate_diverges_and_is_detected(self, tiny_problem):
         est = CuMFSGD(k=8, workers=32, lam=0.0,
@@ -104,3 +121,52 @@ class TestPathologicalData:
                       schedule=ConstantSchedule(0.001), seed=0)
         hist = est.fit(r, epochs=3, test=r)
         assert np.isfinite(hist.test_rmse[-1])
+
+
+@pytest.mark.resilience
+class TestInjectedRuntimeFaults:
+    """End-to-end: the resilience subsystem under injected faults."""
+
+    def test_exhausted_transfer_retries_raise_typed_fault_error(self, tiny_problem):
+        # 5 planned failures vs a 3-attempt budget: retries exhaust
+        plan = FaultPlan(
+            transfer_faults=(TransferFault(device=0, dispatch=0, failures=5),)
+        )
+        sgd = MultiDeviceSGD(n_devices=2, i=4, j=4, workers=8, seed=0)
+        sgd.attach_faults(plan, RetryPolicy(max_attempts=3))
+        model = FactorModel.initialize(
+            tiny_problem.train.n_rows, tiny_problem.train.n_cols, 4, seed=0
+        )
+        with pytest.raises(TransferFaultError, match="h2d"):
+            sgd.run_epoch(model, tiny_problem.train, 0.05, 0.05)
+        assert issubclass(TransferFaultError, FaultError)
+
+    def test_divergence_rolls_back_to_finite_rmse(self, tiny_problem, tmp_path):
+        est = CuMFSGD(k=8, workers=32, lam=0.0,
+                      schedule=ConstantSchedule(8.0), seed=0)
+        trainer = ResilientTrainer(est, tmp_path, max_rollbacks=12)
+        with np.errstate(over="ignore", invalid="ignore"):
+            hist = trainer.fit(tiny_problem.train, epochs=4,
+                               test=tiny_problem.test)
+        assert trainer.rollbacks >= 1
+        assert np.isfinite(hist.final_test_rmse)
+        assert len(hist.epochs) == 4  # only good epochs survive in history
+
+    def test_one_dead_of_four_devices_completes_epoch(self, tiny_problem):
+        plan = FaultPlan(device_failures=(DeviceFailure(device=1, after_dispatches=2),))
+        sgd = MultiDeviceSGD(n_devices=4, i=6, j=6, workers=8, seed=0)
+        sgd.attach_faults(plan)
+        model = FactorModel.initialize(
+            tiny_problem.train.n_rows, tiny_problem.train.n_cols, 4, seed=0
+        )
+        recorder = RecordingHooks()
+        updates = sgd.run_epoch(model, tiny_problem.train, 0.05, 0.05,
+                                hooks=recorder)
+        blocks = [event.block for event in recorder.batches]
+        assert len(blocks) == 36 and len(set(blocks)) == 36  # exactly once
+        assert updates == tiny_problem.train.nnz
+        assert sgd.injector.dead_devices == {1}
+        assert sgd.injector.events["device_lost"] == 1
+        assert sgd.injector.events["blocks_rebalanced"] > 0
+        done_by_dead = sum(1 for e in recorder.batches if e.worker == 1)
+        assert done_by_dead == 2

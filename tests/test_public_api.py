@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.parallel",
     "repro.analysis",
     "repro.experiments",
+    "repro.resilience",
 ]
 
 
