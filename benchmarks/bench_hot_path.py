@@ -1,0 +1,251 @@
+"""Hot-path benchmark: compiled epoch plans + zero-allocation wave kernels.
+
+Measures what the plan/workspace layer buys on the batch-Hogwild! hot path
+(the paper's Eq. 7 quantity, #updates/s) by racing two implementations of
+the same epoch over the same data:
+
+* **plan path** — :class:`repro.core.hogwild.BatchHogwild` as shipped: the
+  epoch schedule compiled once into an ``EpochPlan`` matrix, kernels running
+  through a preallocated ``WaveWorkspace``;
+* **naive reference** — the pre-plan implementation, embedded below: slice
+  one wave's indices per launch and run the allocating kernel.
+
+Both draw the identical RNG stream, so the final factors must match
+bit-for-bit — the benchmark asserts it and records the result in the emitted
+document. Timing: shared runners show *multiplicative* noise (CPU frequency
+drift), so the headline speedup is the median of per-round paired ratios —
+each round times one epoch of both variants back to back, alternating which
+goes first to cancel drift within the round.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_hot_path.py [--quick] [--out PATH]
+
+Emits a ``BENCH_hot_path.json`` trajectory point (default under
+``results/``) whose schema is pinned by :func:`validate_result` and smoked
+by ``tests/test_perf_smoke.py`` (marker: ``perf``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.hogwild import BatchHogwild
+from repro.core.kernels import sgd_wave_update
+from repro.core.model import FactorModel
+from repro.data.synthetic import DatasetSpec, make_synthetic
+
+SCHEMA_VERSION = 1
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "results" / "BENCH_hot_path.json"
+
+#: The acceptance configuration: nnz >= 1e6, k = 32, s = 128 workers.
+REFERENCE_CONFIG = {
+    "m": 8_000, "n": 4_000, "k": 32, "nnz": 1_000_000,
+    "workers": 128, "f": 256, "epochs": 5, "seed": 7,
+}
+#: Tiny variant for smoke tests — same code path, seconds not minutes.
+QUICK_CONFIG = {
+    "m": 800, "n": 400, "k": 16, "nnz": 40_000,
+    "workers": 64, "f": 64, "epochs": 2, "seed": 7,
+}
+
+
+class NaiveBatchHogwild:
+    """The pre-plan epoch loop, kept verbatim as the benchmark's reference.
+
+    This is ``BatchHogwild`` as it existed before the plan/workspace layer:
+    per-wave index arrays built in Python (reshape per group, boolean-mask
+    copy per wave), gathered per wave, run through the allocating kernel.
+    Same schedule semantics and RNG stream as the shipped executor, so the
+    two must agree bit-for-bit.
+    """
+
+    def __init__(self, workers: int, f: int, seed: int) -> None:
+        self.workers = workers
+        self.f = f
+        self._rng = np.random.default_rng(seed)
+        self._order: np.ndarray | None = None
+
+    def _epoch_order(self, nnz: int) -> np.ndarray:
+        if self._order is None or len(self._order) != nnz:
+            self._order = self._rng.permutation(nnz).astype(np.int64)
+        else:
+            self._rng.shuffle(self._order)
+        return self._order
+
+    def wave_indices(self, nnz: int) -> list:
+        order = self._epoch_order(nnz)
+        waves: list = []
+        group_span = self.workers * self.f
+        for lo in range(0, nnz, group_span):
+            group = order[lo : lo + group_span]
+            g = len(group)
+            n_chunks = -(-g // self.f)  # ceil
+            pad = n_chunks * self.f - g
+            if pad:
+                group = np.concatenate(
+                    [group, np.full(pad, -1, dtype=group.dtype)]
+                )
+            grid = group.reshape(n_chunks, self.f)
+            for t in range(self.f):
+                wave = grid[:, t]
+                wave = wave[wave >= 0]
+                if len(wave):
+                    waves.append(wave)
+        return waves
+
+    def run_epoch(self, model, ratings, lr, lam_p, lam_q=None) -> int:
+        lam_q = lam_p if lam_q is None else lam_q
+        rows, cols, vals = ratings.rows, ratings.cols, ratings.vals
+        updates = 0
+        for wave in self.wave_indices(ratings.nnz):
+            wr, wc = rows[wave], cols[wave]
+            sgd_wave_update(
+                model.p, model.q, wr, wc, vals[wave], lr, lam_p, lam_q
+            )
+            updates += len(wave)
+        return updates
+
+
+def _timed(fn, *args) -> tuple[float, int]:
+    t0 = time.perf_counter()
+    result = fn(*args)
+    seconds = time.perf_counter() - t0
+    return seconds, result
+
+
+def run_config(config: dict) -> dict:
+    """Race both implementations over one dataset; return the result doc."""
+    spec = DatasetSpec(
+        name="hot-path", m=config["m"], n=config["n"], k=config["k"],
+        n_train=config["nnz"], n_test=1_000,
+    )
+    problem = make_synthetic(spec, seed=1)
+    train = problem.train
+
+    model = FactorModel.initialize(spec.m, spec.n, spec.k, seed=0)
+    sched = BatchHogwild(
+        workers=config["workers"], f=config["f"], seed=config["seed"]
+    )
+    reference = FactorModel.initialize(spec.m, spec.n, spec.k, seed=0)
+    naive = NaiveBatchHogwild(config["workers"], config["f"], config["seed"])
+
+    # one epoch of each per round, alternating who goes first; every epoch
+    # advances both executors' (identical) RNG streams in lockstep
+    plan_times: list[float] = []
+    naive_times: list[float] = []
+    for r in range(config["epochs"]):
+        runs = [
+            lambda: _timed(sched.run_epoch, model, train, 0.05, 0.05),
+            lambda: _timed(naive.run_epoch, reference, train, 0.05, 0.05),
+        ]
+        if r % 2:
+            runs.reverse()
+        pair = [run() for run in runs]
+        if r % 2:
+            pair.reverse()
+        (tp, up), (tn, un) = pair
+        assert up == train.nnz and un == train.nnz
+        plan_times.append(tp)
+        naive_times.append(tn)
+
+    bit_identical = (
+        model.p.tobytes() == reference.p.tobytes()
+        and model.q.tobytes() == reference.q.tobytes()
+    )
+    ratios = sorted(n / p for n, p in zip(naive_times, plan_times))
+    speedup = ratios[len(ratios) // 2]  # paired-ratio median
+    epoch_seconds = min(plan_times)
+    naive_epoch_seconds = min(naive_times)
+    ws = sched.workspace
+    return {
+        "benchmark": "hot_path",
+        "schema_version": SCHEMA_VERSION,
+        "config": dict(config),
+        "metrics": {
+            "epoch_seconds": epoch_seconds,
+            "naive_epoch_seconds": naive_epoch_seconds,
+            "speedup": speedup,
+            "updates_per_sec": train.nnz / epoch_seconds,
+            "plan_compiles": sched.plan_stats.compiles,
+            "plan_repermutes": sched.plan_stats.repermutes,
+            "workspace_allocations": ws.allocations,
+            "workspace_bytes": ws.nbytes,
+        },
+        "bit_identical": bit_identical,
+    }
+
+
+def validate_result(doc: dict) -> None:
+    """Schema check for a BENCH_hot_path.json document; raises ValueError."""
+    def fail(msg: str):
+        raise ValueError(f"invalid BENCH_hot_path document: {msg}")
+
+    if not isinstance(doc, dict):
+        fail("not a mapping")
+    if doc.get("benchmark") != "hot_path":
+        fail(f"benchmark is {doc.get('benchmark')!r}, expected 'hot_path'")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        fail(f"schema_version {doc.get('schema_version')!r} != {SCHEMA_VERSION}")
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        fail("config missing or not a mapping")
+    for key in ("m", "n", "k", "nnz", "workers", "f", "epochs", "seed"):
+        if not isinstance(config.get(key), int) or (
+            key != "seed" and config[key] <= 0
+        ):
+            fail(f"config.{key} must be a positive int, got {config.get(key)!r}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        fail("metrics missing or not a mapping")
+    for key in ("epoch_seconds", "naive_epoch_seconds", "speedup",
+                "updates_per_sec"):
+        value = metrics.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            fail(f"metrics.{key} must be a positive number, got {value!r}")
+    for key in ("plan_compiles", "plan_repermutes",
+                "workspace_allocations", "workspace_bytes"):
+        value = metrics.get(key)
+        if not isinstance(value, int) or value < 0:
+            fail(f"metrics.{key} must be a non-negative int, got {value!r}")
+    if not isinstance(doc.get("bit_identical"), bool):
+        fail("bit_identical must be a bool")
+
+
+def main(argv: list[str] | None = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny config (smoke-test scale) instead of the reference config",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT,
+        help=f"output JSON path (default {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+
+    config = QUICK_CONFIG if args.quick else REFERENCE_CONFIG
+    doc = run_config(config)
+    validate_result(doc)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+
+    m = doc["metrics"]
+    print(f"nnz={config['nnz']:,} k={config['k']} workers={config['workers']} "
+          f"f={config['f']}")
+    print(f"plan path   : {m['epoch_seconds'] * 1e3:9.2f} ms/epoch "
+          f"({m['updates_per_sec'] / 1e6:.2f} M updates/s)")
+    print(f"naive path  : {m['naive_epoch_seconds'] * 1e3:9.2f} ms/epoch")
+    print(f"speedup     : {m['speedup']:.2f}x   "
+          f"bit-identical: {doc['bit_identical']}")
+    print(f"wrote {args.out}")
+    return doc
+
+
+if __name__ == "__main__":
+    main()

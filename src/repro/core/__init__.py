@@ -18,6 +18,7 @@ from repro.core.checkpoint import Checkpoint, load_model, save_model
 from repro.core.convergence import hogwild_safety_bound, is_safe_parallelism
 from repro.core.hogwild import BatchHogwild
 from repro.core.kernels import (
+    WaveWorkspace,
     sgd_wave_update,
     sgd_serial_update,
     single_update,
@@ -38,6 +39,7 @@ __all__ = [
     "sgd_wave_update",
     "sgd_serial_update",
     "single_update",
+    "WaveWorkspace",
     "LearningRateSchedule",
     "ConstantSchedule",
     "NomadSchedule",

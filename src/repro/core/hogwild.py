@@ -13,9 +13,17 @@ Eq. 8's locality condition: ``f >> ceil(cache_line / sizeof(sample))`` =
 values behave the same (we expose ``f`` and sweep it in an ablation bench).
 
 Execution model here: with ``s`` workers, wave ``t`` executes sample ``t`` of
-every worker's current chunk concurrently — one call to
-:func:`repro.core.kernels.sgd_wave_update` with full race semantics. After
-``f`` waves all workers advance to the next group of chunks.
+every worker's current chunk concurrently — one call to the wave kernel of
+:mod:`repro.core.kernels` with full race semantics. After ``f`` waves all
+workers advance to the next group of chunks.
+
+Hot-path structure: the epoch's wave schedule is compiled once into an
+:class:`~repro.sched.plan.EpochPlan` (a padded ``(n_waves, s)`` index matrix,
+cached across epochs and re-permuted in place under ``shuffle_each_epoch``),
+and the kernel runs through a :class:`~repro.core.kernels.WaveWorkspace` of
+preallocated scratch, so steady-state epochs are allocation-free. Both layers
+are numerically invisible: update order, RNG draws, and every fp32 bit match
+the uncompiled per-wave schedule (pinned by ``tests/test_plan.py``).
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.kernels import sgd_wave_update
+from repro.core.kernels import UPDATE_ERRSTATE, WaveWorkspace
 from repro.core.model import FactorModel
 from repro.data.container import RatingMatrix
 from repro.obs.hooks import (
@@ -34,6 +42,7 @@ from repro.obs.hooks import (
     resolve_kernel_stride,
 )
 from repro.sched.conflict import collision_fraction
+from repro.sched.plan import EpochPlan, PlanStats
 
 __all__ = ["BatchHogwild"]
 
@@ -72,14 +81,33 @@ class BatchHogwild:
             raise ValueError(f"f must be positive, got {self.f}")
         self._rng = np.random.default_rng(self.seed)
         self._order: np.ndarray | None = None
+        self._plan: EpochPlan | None = None
+        self.plan_stats = PlanStats()
+        self.workspace = WaveWorkspace()
 
     # ------------------------------------------------------------------
-    def _epoch_order(self, nnz: int) -> np.ndarray:
+    def compiled_plan(self, nnz: int) -> EpochPlan:
+        """The epoch's compiled wave schedule, advancing the RNG exactly as
+        the legacy per-wave builder did (one permutation on first use, one
+        in-place shuffle per epoch under ``shuffle_each_epoch``)."""
         if self._order is None or len(self._order) != nnz:
             self._order = self._rng.permutation(nnz).astype(np.int64)
+            self._plan = EpochPlan(
+                self._order, self.workers, self.f, stats=self.plan_stats
+            )
+            return self._plan
+        plan = self._plan
+        if plan is None or not plan.matches(self._order, self.workers, self.f):
+            if self.shuffle_each_epoch:
+                self._rng.shuffle(self._order)
+            self._plan = plan = EpochPlan(
+                self._order, self.workers, self.f, stats=self.plan_stats
+            )
         elif self.shuffle_each_epoch:
-            self._rng.shuffle(self._order)
-        return self._order
+            plan.repermute(self._rng)
+        else:
+            plan.note_cache_hit()
+        return plan
 
     def wave_indices(self, nnz: int) -> list[np.ndarray]:
         """Partition one epoch into wave index arrays (testing hook).
@@ -87,25 +115,10 @@ class BatchHogwild:
         Wave ``t`` of a group holds sample positions
         ``{w*f + t : w in workers}`` relative to the group start, i.e. each
         worker walks its own chunk of ``f`` consecutive samples while waves
-        cut across workers.
+        cut across workers. Returns independent copies; the executor itself
+        runs straight off the compiled plan's matrix.
         """
-        order = self._epoch_order(nnz)
-        waves: list[np.ndarray] = []
-        group_span = self.workers * self.f
-        for lo in range(0, nnz, group_span):
-            group = order[lo : lo + group_span]
-            g = len(group)
-            n_chunks = -(-g // self.f)  # ceil
-            pad = n_chunks * self.f - g
-            if pad:
-                group = np.concatenate([group, np.full(pad, -1, dtype=group.dtype)])
-            grid = group.reshape(n_chunks, self.f)
-            for t in range(self.f):
-                wave = grid[:, t]
-                wave = wave[wave >= 0]
-                if len(wave):
-                    waves.append(wave)
-        return waves
+        return self.compiled_plan(nnz).wave_arrays()
 
     # ------------------------------------------------------------------
     def run_epoch(
@@ -119,39 +132,70 @@ class BatchHogwild:
     ) -> int:
         """Execute one full pass over the rating matrix. Returns #updates.
 
-        ``hooks`` receives one ``on_kernel`` event per wave (with the wave's
-        coordinates, for Eq. 6 conflict accounting); with no collector
-        attached the per-wave cost is a single attribute check.
+        ``hooks`` receives one ``on_kernel`` event per ``kernel_stride``
+        waves; each event carries the exact number of updates and waves the
+        window covered (plus the last wave's coordinates as the Eq. 6
+        conflict sample). With no collector attached the per-wave cost is a
+        single attribute check.
         """
         lam_q = lam_p if lam_q is None else lam_q
         hooks = resolve_hooks(hooks)
         observe = hooks.active
         stride = resolve_kernel_stride(hooks) if observe else 1
-        pending = 0
+        pending_waves = 0
+        pending_updates = 0
         updates = 0
         collision_acc = 0.0
         n_waves = 0
-        rows, cols, vals = ratings.rows, ratings.cols, ratings.vals
-        for wave in self.wave_indices(ratings.nnz):
-            wr, wc = rows[wave], cols[wave]
-            if self.track_collisions:
-                collision_acc += collision_fraction(wr, wc)
-                n_waves += 1
-            sgd_wave_update(model.p, model.q, wr, wc, vals[wave], lr, lam_p, lam_q)
-            updates += len(wave)
-            if observe:
-                pending += 1
-                if pending == stride:
-                    hooks.on_kernel(
-                        KernelEvent(
-                            name="hogwild.wave", n_updates=len(wave),
-                            rows=wr, cols=wc, n_waves=pending,
+        plan = self.compiled_plan(ratings.nnz)
+        ws = self.workspace
+        ws.reserve(plan.width, model.p.shape[1],
+                   half_precision=model.p.dtype != np.float32)
+        rows_w, cols_w, vals_w = ws.bind_plan(
+            plan, ratings.rows, ratings.cols, ratings.vals
+        )
+        p, q = model.p, model.q
+        lengths = plan.lengths.tolist()
+        width = plan.width
+        track = self.track_collisions
+        wave_update = ws.wave_update
+        # pre-coerced scalars: the kernel skips its per-call conversions
+        lr = np.float32(lr)
+        lam_p = np.float32(lam_p)
+        lam_q = np.float32(lam_q)
+        i = 0
+        with np.errstate(**UPDATE_ERRSTATE):
+            for wr, wc, wv in zip(rows_w, cols_w, vals_w):
+                w = lengths[i]
+                i += 1
+                if w != width:
+                    wr = wr[:w]
+                    wc = wc[:w]
+                    wv = wv[:w]
+                if track:
+                    collision_acc += collision_fraction(wr, wc)
+                    n_waves += 1
+                wave_update(p, q, wr, wc, wv, lr, lam_p, lam_q)
+                updates += w
+                if observe:
+                    pending_waves += 1
+                    pending_updates += w
+                    if pending_waves == stride:
+                        hooks.on_kernel(
+                            KernelEvent(
+                                name="hogwild.wave", n_updates=pending_updates,
+                                rows=wr.copy(), cols=wc.copy(),
+                                n_waves=pending_waves,
+                            )
                         )
-                    )
-                    pending = 0
-        if pending:  # tail waves the stride window did not flush
+                        pending_waves = 0
+                        pending_updates = 0
+        if pending_waves:  # tail waves the stride window did not flush
             hooks.on_kernel(
-                KernelEvent(name="hogwild.wave", n_updates=0, n_waves=pending)
+                KernelEvent(
+                    name="hogwild.wave", n_updates=pending_updates,
+                    n_waves=pending_waves,
+                )
             )
         if self.track_collisions and n_waves:
             self.collision_history.append(collision_acc / n_waves)

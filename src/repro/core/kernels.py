@@ -23,11 +23,44 @@ requirement of §7.5) reproducible and deterministic.
 Half-precision (§4) is modelled by storing P/Q as ``float16`` and computing
 in ``float32``, matching the paper's claim that fp16 storage halves feature
 traffic without hurting accuracy.
+
+Divergence semantics
+--------------------
+The kernels never mask numerical trouble: when a run diverges (huge learning
+rate, adversarial data) the fp32 arithmetic overflows to ``inf`` and then
+produces ``nan``, which propagates into every factor the poisoned samples
+touch. That propagation is *intentional* — it is what the divergence guards
+(:attr:`repro.core.trainer.TrainHistory.diverged`, the
+:class:`repro.resilience.trainer.ResilientTrainer` NaN guard) key on. The
+update arithmetic therefore runs under ``np.errstate(over="ignore",
+invalid="ignore")`` so diverging runs stay warning-clean instead of spamming
+``RuntimeWarning`` while producing the exact same bits.
+
+Zero-allocation steady state
+----------------------------
+:class:`WaveWorkspace` preallocates every scratch buffer the wave kernel
+needs (gathers, the error vector, gradient temporaries) and exposes the same
+arithmetic through ``out=``-driven ufunc/einsum calls. Passing a workspace to
+:func:`sgd_wave_update` / :func:`sgd_serial_update` makes the hot path
+allocation-free after the first wave, with bit-identical results to the
+allocating path (pinned by ``tests/test_plan.py``). A workspace is **not**
+thread-safe — give each concurrent worker its own.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.sched.plan import SerialPlan, prev_occurrence
+
+try:  # np.einsum(optimize=False) forwards verbatim to this C entry point;
+    # calling it directly skips ~1.5us of wrapper per wave (identical bits)
+    from numpy._core._multiarray_umath import c_einsum as _c_einsum
+except ImportError:  # pragma: no cover - older numpy module layout
+    try:
+        from numpy.core._multiarray_umath import c_einsum as _c_einsum
+    except ImportError:
+        _c_einsum = np.einsum
 
 __all__ = [
     "sgd_wave_update",
@@ -35,7 +68,12 @@ __all__ = [
     "single_update",
     "wave_gradients",
     "conflict_free_segments",
+    "WaveWorkspace",
 ]
+
+#: ufunc error-state under which all update arithmetic runs: divergence
+#: produces inf/nan silently (see module docstring) instead of RuntimeWarning.
+UPDATE_ERRSTATE = {"over": "ignore", "invalid": "ignore"}
 
 
 def _gather(mat: np.ndarray, idx: np.ndarray) -> np.ndarray:
@@ -57,6 +95,237 @@ def _scatter(mat: np.ndarray, idx: np.ndarray, values: np.ndarray) -> None:
         mat[idx] = values.astype(mat.dtype)
 
 
+class WaveWorkspace:
+    """Preallocated scratch buffers for allocation-free wave kernels.
+
+    One workspace serves any wave width up to its reserved capacity and any
+    feature dimension ``k`` (buffers grow monotonically, never shrink). Two
+    kinds of buffers live here:
+
+    * **kernel scratch** — the gathered ``p_u``/``q_v`` snapshots, the error
+      vector, and two gradient temporaries consumed by :meth:`wave_update`;
+    * **wave-major gathers** — :meth:`bind_plan` materializes an
+      :class:`~repro.sched.plan.EpochPlan`'s per-wave row/col/value arrays as
+      three ``(n_waves, s)`` matrices with one vectorized ``take`` each, so
+      the epoch loop slices views instead of gathering per wave.
+
+    Counters (surfaced as ``repro.train.extra.workspace_*`` via the trainer):
+    ``allocations`` buffer (re)allocations, ``waves`` kernel launches served,
+    ``plan_binds`` epoch gathers, ``nbytes`` bytes currently held.
+
+    Not thread-safe: concurrent executors must each own one.
+    """
+
+    __slots__ = (
+        "allocations", "waves", "plan_binds",
+        "_capacity", "_k", "_pu", "_qv", "_t1", "_t2", "_t3",
+        "_err", "_err2", "_views",
+        "_pu16", "_qv16",
+        "_rows_w", "_cols_w", "_vals_w", "_bound_shape", "_bound_key",
+        "_cast_cache",
+    )
+
+    def __init__(self) -> None:
+        self.allocations = 0
+        self.waves = 0
+        self.plan_binds = 0
+        self._capacity = 0
+        self._k = 0
+        self._pu = self._qv = self._t1 = self._t2 = self._t3 = None
+        self._err = self._err2 = None
+        self._pu16 = self._qv16 = None
+        self._views: dict[int, tuple] = {}
+        self._rows_w = self._cols_w = self._vals_w = None
+        self._bound_shape: tuple[int, int] | None = None
+        self._bound_key: tuple | None = None
+        self._cast_cache: tuple | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        total = 0
+        for name in ("_pu", "_qv", "_t1", "_t2", "_t3", "_err",
+                     "_pu16", "_qv16", "_rows_w", "_cols_w", "_vals_w"):
+            buf = getattr(self, name)
+            if buf is not None:
+                total += buf.nbytes
+        return total
+
+    def reserve(self, capacity: int, k: int, half_precision: bool = False) -> None:
+        """Ensure kernel scratch for waves up to ``capacity`` samples x ``k``.
+
+        ``k`` is exact-fit (scratch rows stay contiguous, so the einsum path
+        is byte-for-byte the one the allocating kernel takes); capacity only
+        grows.
+        """
+        if capacity <= self._capacity and k == self._k and (
+            not half_precision or self._pu16 is not None
+        ):
+            return
+        capacity = max(capacity, self._capacity)
+        shape = (capacity, k)
+        self._pu = np.empty(shape, np.float32)
+        self._qv = np.empty(shape, np.float32)
+        self._t1 = np.empty(shape, np.float32)
+        self._t2 = np.empty(shape, np.float32)
+        self._t3 = np.empty(shape, np.float32)
+        self._err = np.empty(capacity, np.float32)
+        self._err2 = self._err[:, None]
+        if half_precision or self._pu16 is not None:
+            self._pu16 = np.empty(shape, np.float16)
+            self._qv16 = np.empty(shape, np.float16)
+        self._capacity = capacity
+        self._k = k
+        self._views = {}
+        self.allocations += 1
+
+    def _views_for(self, w: int, fp16: bool) -> tuple:
+        views = self._views.get(w)
+        if views is None:
+            views = (
+                self._pu[:w], self._qv[:w],
+                self._t1[:w], self._t2[:w], self._t3[:w],
+                self._err[:w], self._err2[:w],
+                self._pu16[:w] if fp16 else None,
+                self._qv16[:w] if fp16 else None,
+            )
+            self._views[w] = views
+        return views
+
+    # ------------------------------------------------------------------
+    def bind_plan(
+        self,
+        plan,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Gather an epoch plan's wave-major row/col/value matrices.
+
+        One vectorized ``take`` per array replaces one small gather per wave.
+        ``-1`` padding indexes the last sample — harmless, as consumers only
+        read the first ``plan.lengths[i]`` entries of each row. Returned
+        arrays are views into workspace buffers, valid until the next bind.
+        A bind is skipped entirely when the plan (same version — i.e. not
+        re-permuted since) and data arrays are unchanged.
+        """
+        shape = (plan.n_waves, plan.width)
+        bk = self._bound_key
+        if (
+            bk is not None
+            and bk[0] is plan
+            and bk[1] == plan.version
+            and bk[2] is rows
+            and bk[3] is cols
+            and bk[4] is vals
+        ):
+            return (
+                self._rows_w[: shape[0], : shape[1]],
+                self._cols_w[: shape[0], : shape[1]],
+                self._vals_w[: shape[0], : shape[1]],
+            )
+        if self._bound_shape is None or (
+            shape[0] > self._bound_shape[0] or shape[1] > self._bound_shape[1]
+        ):
+            alloc = (
+                max(shape[0], self._bound_shape[0] if self._bound_shape else 0),
+                max(shape[1], self._bound_shape[1] if self._bound_shape else 0),
+            )
+            # row/col IDs are gathered as intp: per-wave take/scatter then
+            # skips the index-cast numpy performs for narrower dtypes
+            # (~4us/wave), and the IDs themselves are dtype-agnostic values
+            self._rows_w = np.empty(alloc, np.intp)
+            self._cols_w = np.empty(alloc, np.intp)
+            self._vals_w = np.empty(alloc, vals.dtype)
+            self._bound_shape = alloc
+            self.allocations += 1
+        cast = self._cast_cache
+        if cast is None or cast[0] is not rows or cast[2] is not cols:
+            rows64 = rows if rows.dtype == np.intp else rows.astype(np.intp)
+            cols64 = cols if cols.dtype == np.intp else cols.astype(np.intp)
+            self._cast_cache = cast = (rows, rows64, cols, cols64)
+        rw = self._rows_w[: shape[0], : shape[1]]
+        cw = self._cols_w[: shape[0], : shape[1]]
+        vw = self._vals_w[: shape[0], : shape[1]]
+        np.take(cast[1], plan.matrix, out=rw)
+        np.take(cast[3], plan.matrix, out=cw)
+        np.take(vals, plan.matrix, out=vw)
+        self._bound_key = (plan, plan.version, rows, cols, vals)
+        self.plan_binds += 1
+        return rw, cw, vw
+
+    # ------------------------------------------------------------------
+    def wave_update(
+        self,
+        p: np.ndarray,
+        q: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        lr: float,
+        lam_p: float,
+        lam_q: float,
+    ) -> np.ndarray:
+        """Allocation-free :func:`sgd_wave_update` body.
+
+        Identical arithmetic, identical operation order, identical bits —
+        only the temporaries live in preallocated buffers. The returned error
+        vector is a view into workspace scratch, overwritten by the next
+        wave. Caller manages ``np.errstate`` (hot loops wrap whole epochs).
+        """
+        w = len(rows)
+        k = p.shape[1]
+        fp16 = p.dtype != np.float32 or q.dtype != np.float32
+        self.reserve(w, k, half_precision=fp16)
+        pu, qv, t1, t2, t3, err, err2, pu16, qv16 = self._views_for(w, fp16)
+        if p.dtype == np.float32:
+            p.take(rows, 0, pu)
+        else:
+            p.take(rows, 0, pu16)
+            np.copyto(pu, pu16)
+        if q.dtype == np.float32:
+            q.take(cols, 0, qv)
+        else:
+            q.take(cols, 0, qv16)
+            np.copyto(qv, qv16)
+        _c_einsum("ij,ij->i", pu, qv, out=err)
+        if vals.dtype == np.float32:
+            np.subtract(vals, err, err)
+        else:
+            np.subtract(vals.astype(np.float32), err, err)
+        lr32 = lr if type(lr) is np.float32 else np.float32(lr)
+        lam_p32 = lam_p if type(lam_p) is np.float32 else np.float32(lam_p)
+        lam_q32 = lam_q if type(lam_q) is np.float32 else np.float32(lam_q)
+        # expand err once: a contiguous (w, k) copy makes the two products
+        # below contiguous multiplies, ~2x faster than broadcasting the
+        # (w, 1) view twice — same values, bit for bit
+        np.copyto(t3, err2)
+        # new_p = pu + lr * (err*qv - lam_p*pu), exactly as the allocating path
+        np.multiply(t3, qv, t1)
+        np.multiply(lam_p32, pu, t2)
+        np.subtract(t1, t2, t1)
+        np.multiply(lr32, t1, t1)
+        # new_q needs the *old* pu, so build its first factor before reusing t2
+        np.multiply(t3, pu, t2)
+        np.add(pu, t1, t1)
+        np.multiply(lam_q32, qv, t3)
+        np.subtract(t2, t3, t2)
+        np.multiply(lr32, t2, t2)
+        np.add(qv, t2, t2)
+        if p.dtype == np.float32:
+            p[rows] = t1
+        else:
+            np.copyto(pu16, t1)
+            p[rows] = pu16
+        if q.dtype == np.float32:
+            q[cols] = t2
+        else:
+            np.copyto(qv16, t2)
+            q[cols] = qv16
+        self.waves += 1
+        return err
+
+
 def wave_gradients(
     p: np.ndarray,
     q: np.ndarray,
@@ -72,11 +341,12 @@ def wave_gradients(
     direction for ``p_u`` (line 9 of Algorithm 1) and ``gq`` likewise for
     ``q_v``. No writes are performed.
     """
-    pu = _gather(p, rows)
-    qv = _gather(q, cols)
-    err = vals.astype(np.float32) - np.einsum("ij,ij->i", pu, qv)
-    gp = err[:, None] * qv - lam_p * pu
-    gq = err[:, None] * pu - lam_q * qv
+    with np.errstate(**UPDATE_ERRSTATE):
+        pu = _gather(p, rows)
+        qv = _gather(q, cols)
+        err = vals.astype(np.float32) - np.einsum("ij,ij->i", pu, qv)
+        gp = err[:, None] * qv - lam_p * pu
+        gq = err[:, None] * pu - lam_q * qv
     return err, gp, gq
 
 
@@ -89,6 +359,7 @@ def sgd_wave_update(
     lr: float,
     lam_p: float,
     lam_q: float | None = None,
+    workspace: WaveWorkspace | None = None,
 ) -> np.ndarray:
     """One concurrent wave of SGD updates with Hogwild race semantics.
 
@@ -96,16 +367,25 @@ def sgd_wave_update(
     the pre-wave snapshot of P and Q; writes race (last writer wins on
     duplicate rows/columns). Mutates ``p`` and ``q`` in place and returns the
     per-sample prediction errors (useful for monitoring).
+
+    With a :class:`WaveWorkspace` the kernel is allocation-free and the
+    returned error vector is a scratch view (overwritten by the next wave);
+    without one it is a fresh array. Both paths produce identical bits.
+    Diverging arithmetic silently yields inf/nan (see module docstring).
     """
     lam_q = lam_p if lam_q is None else lam_q
-    pu = _gather(p, rows)
-    qv = _gather(q, cols)
-    err = vals.astype(np.float32) - np.einsum("ij,ij->i", pu, qv)
-    lr32 = np.float32(lr)
-    new_p = pu + lr32 * (err[:, None] * qv - np.float32(lam_p) * pu)
-    new_q = qv + lr32 * (err[:, None] * pu - np.float32(lam_q) * qv)
-    _scatter(p, rows, new_p)
-    _scatter(q, cols, new_q)
+    if workspace is not None:
+        with np.errstate(**UPDATE_ERRSTATE):
+            return workspace.wave_update(p, q, rows, cols, vals, lr, lam_p, lam_q)
+    with np.errstate(**UPDATE_ERRSTATE):
+        pu = _gather(p, rows)
+        qv = _gather(q, cols)
+        err = vals.astype(np.float32) - np.einsum("ij,ij->i", pu, qv)
+        lr32 = np.float32(lr)
+        new_p = pu + lr32 * (err[:, None] * qv - np.float32(lam_p) * pu)
+        new_q = qv + lr32 * (err[:, None] * pu - np.float32(lam_q) * qv)
+        _scatter(p, rows, new_p)
+        _scatter(q, cols, new_q)
     return err
 
 
@@ -126,26 +406,19 @@ def single_update(
     fp32. Returns the prediction error before the update.
     """
     lam_q = lam_p if lam_q is None else lam_q
-    pu = p[u].astype(np.float32)
-    qv = q[v].astype(np.float32)
-    err = np.float32(r) - np.float32(np.dot(pu, qv))
-    lr32 = np.float32(lr)
-    new_p = pu + lr32 * (err * qv - np.float32(lam_p) * pu)
-    new_q = qv + lr32 * (err * pu - np.float32(lam_q) * qv)
-    p[u] = new_p if p.dtype == np.float32 else new_p.astype(p.dtype)
-    q[v] = new_q if q.dtype == np.float32 else new_q.astype(q.dtype)
+    with np.errstate(**UPDATE_ERRSTATE):
+        pu = p[u].astype(np.float32)
+        qv = q[v].astype(np.float32)
+        err = np.float32(r) - np.float32(np.dot(pu, qv))
+        lr32 = np.float32(lr)
+        new_p = pu + lr32 * (err * qv - np.float32(lam_p) * pu)
+        new_q = qv + lr32 * (err * pu - np.float32(lam_q) * qv)
+        p[u] = new_p if p.dtype == np.float32 else new_p.astype(p.dtype)
+        q[v] = new_q if q.dtype == np.float32 else new_q.astype(q.dtype)
     return float(err)
 
 
-def _prev_occurrence(x: np.ndarray) -> np.ndarray:
-    """For each position, the previous position holding the same value (-1 if none)."""
-    order = np.argsort(x, kind="stable")
-    xs = x[order]
-    prev = np.full(len(x), -1, dtype=np.int64)
-    if len(x) > 1:
-        same = xs[1:] == xs[:-1]
-        prev[order[1:][same]] = order[:-1][same]
-    return prev
+_prev_occurrence = prev_occurrence  # kept under the historical private name
 
 
 def conflict_free_segments(
@@ -157,22 +430,10 @@ def conflict_free_segments(
     repeated column (Eq. 6 holds pairwise within it), and is at most
     ``max_wave`` long. Conflict-free waves commute with serial execution, so
     replaying the segments in order is numerically identical to a serial
-    pass over the sequence.
+    pass over the sequence. (Thin wrapper over
+    :meth:`repro.sched.plan.SerialPlan.compile`.)
     """
-    n = len(rows)
-    if n == 0:
-        return []
-    prev = np.maximum(_prev_occurrence(rows), _prev_occurrence(cols))
-    segments: list[tuple[int, int]] = []
-    start = 0
-    while start < n:
-        limit = min(start + max_wave, n)
-        window = prev[start + 1 : limit]
-        hits = np.nonzero(window >= start)[0]
-        stop = start + 1 + int(hits[0]) if len(hits) else limit
-        segments.append((start, stop))
-        start = stop
-    return segments
+    return SerialPlan.compile(rows, cols, max_wave).segments()
 
 
 def sgd_serial_update(
@@ -185,17 +446,28 @@ def sgd_serial_update(
     lam_p: float,
     lam_q: float | None = None,
     max_wave: int = 64,
+    workspace: WaveWorkspace | None = None,
 ) -> None:
     """Serial-equivalent batched update for samples owned by ONE worker.
 
     Within a parallel worker (a block of the wavefront grid, or one
     batch-Hogwild! chunk) updates are executed serially on the GPU. Looping
-    one sample at a time in Python is prohibitively slow, so we process the
-    sequence in conflict-free sub-waves (see :func:`conflict_free_segments`),
-    which are numerically faithful to per-worker serial order, just faster.
+    one sample at a time in Python is prohibitively slow, so the sequence is
+    compiled into a :class:`~repro.sched.plan.SerialPlan` of conflict-free
+    sub-waves, which are numerically faithful to per-worker serial order,
+    just faster. A :class:`WaveWorkspace` makes the replay allocation-free.
     """
     lam_q = lam_p if lam_q is None else lam_q
-    for start, stop in conflict_free_segments(rows, cols, max_wave):
+    plan = SerialPlan.compile(rows, cols, max_wave)
+    if workspace is not None:
+        with np.errstate(**UPDATE_ERRSTATE):
+            for start, stop in zip(plan.starts.tolist(), plan.stops.tolist()):
+                workspace.wave_update(
+                    p, q, rows[start:stop], cols[start:stop], vals[start:stop],
+                    lr, lam_p, lam_q,
+                )
+        return
+    for start, stop in zip(plan.starts.tolist(), plan.stops.tolist()):
         sgd_wave_update(
             p,
             q,

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.kernels import sgd_wave_update
+from repro.core.kernels import WaveWorkspace, sgd_wave_update
 from repro.core.model import FactorModel
 from repro.core.partition import BlockView, GridPartition
 from repro.data.container import RatingMatrix
@@ -119,6 +119,9 @@ class MultiDeviceSGD:
         self.ledger = TransferLedger()
         self._injector = None
         self._retry = None
+        #: per-coordinator kernel scratch (devices run their blocks serially
+        #: here, so one workspace serves them all)
+        self.workspace = WaveWorkspace()
 
     # ------------------------------------------------------------------
     def attach_faults(self, faults, retry=None) -> "MultiDeviceSGD":
@@ -187,7 +190,8 @@ class MultiDeviceSGD:
         for lo in range(0, len(idx), self.workers):
             wave = idx[lo : lo + self.workers]
             sgd_wave_update(
-                model.p, model.q, rows[wave], cols[wave], vals[wave], lr, lam_p, lam_q
+                model.p, model.q, rows[wave], cols[wave], vals[wave],
+                lr, lam_p, lam_q, workspace=self.workspace,
             )
         return len(idx)
 

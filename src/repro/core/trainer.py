@@ -48,6 +48,10 @@ class TrainHistory:
     test_rmse: list[float] = field(default_factory=list)
     learning_rates: list[float] = field(default_factory=list)
     updates: list[int] = field(default_factory=list)
+    #: epoch number of each ``test_rmse`` entry — test RMSE may be recorded
+    #: intermittently (``test=None`` epochs mixed in), so ``test_rmse`` must
+    #: never be paired positionally with ``epochs``
+    test_epochs: list[int] = field(default_factory=list, compare=False, repr=False)
     #: wall seconds per epoch (0.0 for histories built via record());
     #: excluded from equality so instrumented reruns still compare equal
     epoch_seconds: list[float] = field(default_factory=list, compare=False, repr=False)
@@ -64,6 +68,7 @@ class TrainHistory:
             self.train_rmse.append(event.train_rmse)
         if event.test_rmse is not None:
             self.test_rmse.append(event.test_rmse)
+            self.test_epochs.append(event.epoch)
 
     def on_batch(self, event) -> None:  # pragma: no cover - protocol no-op
         pass
@@ -115,8 +120,18 @@ class TrainHistory:
         """First epoch (1-based) whose test RMSE <= target, else None.
 
         This is the quantity Table 4 combines with modelled epoch time.
+        Epoch numbers come from :attr:`test_epochs`, recorded alongside each
+        test RMSE — pairing ``epochs`` with ``test_rmse`` positionally would
+        misalign whenever evaluation is intermittent (``test=None`` epochs
+        mixed in). Histories assembled by hand (lists set directly, no
+        ``test_epochs``) fall back to the positional pairing.
         """
-        for epoch, value in zip(self.epochs, self.test_rmse):
+        epochs = (
+            self.test_epochs
+            if len(self.test_epochs) == len(self.test_rmse)
+            else self.epochs
+        )
+        for epoch, value in zip(epochs, self.test_rmse):
             if value <= target:
                 return epoch
         return None
@@ -336,6 +351,14 @@ class CuMFSGD:
         elif isinstance(executor, BatchHogwild):
             if executor.track_collisions and executor.collision_history:
                 extra["conflict_rate"] = executor.collision_history[-1]
+            # cumulative plan-compilation and workspace counters (the hot
+            # path should show cache hits / repermutes, not fresh compiles)
+            extra.update(executor.plan_stats.as_extra())
+            ws = executor.workspace
+            extra["workspace_allocations"] = ws.allocations
+            extra["workspace_plan_binds"] = ws.plan_binds
+            extra["workspace_waves"] = ws.waves
+            extra["workspace_bytes"] = ws.nbytes
         elif isinstance(executor, MultiDeviceSGD):
             extra["transfer_rounds"] = executor.ledger.rounds
             extra["transfer_bytes"] = executor.ledger.total_bytes

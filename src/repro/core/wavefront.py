@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.kernels import sgd_serial_update
+from repro.core.kernels import WaveWorkspace, sgd_serial_update
 from repro.core.model import FactorModel
 from repro.data.container import RatingMatrix
 from repro.obs.hooks import BatchEvent, TrainerHooks, resolve_hooks
@@ -70,6 +70,8 @@ class WavefrontScheduler:
         self.last_epoch_rounds = 0
         #: cumulative column-lock contention across all epochs run
         self.lock_stats = LockContentionStats()
+        #: scratch reused by every block's serial-equivalent replay
+        self.workspace = WaveWorkspace()
 
     # ------------------------------------------------------------------
     def prepare(self, ratings: RatingMatrix) -> None:
@@ -155,6 +157,7 @@ class WavefrontScheduler:
                         lam_p,
                         lam_q,
                         max_wave=self.intra_wave,
+                        workspace=self.workspace,
                     )
                     updates += len(idx)
                 locks.release(col, w)

@@ -19,6 +19,7 @@ repro.sched.conflict.rate                 series     Eq. 6 wave conflict fractio
 repro.sched.lock.attempts|waits|aborts    counter    column-lock contention
 repro.sched.rounds                        counter    wavefront scheduling rounds
 repro.kernel.waves                        counter    kernel-equivalent launches
+repro.kernel.updates                      counter    updates via kernel events (exact)
 repro.kernel.wave_collision_fraction      histogram  per-wave Eq. 6 fraction
 repro.transfer.h2d_bytes|d2h_bytes        counter    modelled interconnect traffic
 repro.perf.updates_per_sec                gauge      modelled Eq. 7 rate (labels)
@@ -98,6 +99,7 @@ class TelemetryCollector:
         self._updates = reg.counter("repro.train.updates")
         self._eval_seconds = reg.counter("repro.train.eval_seconds")
         self._waves = reg.counter("repro.kernel.waves")
+        self._kernel_updates = reg.counter("repro.kernel.updates")
         self._wave_collisions = reg.histogram(
             "repro.kernel.wave_collision_fraction", FRACTION_BUCKETS
         )
@@ -191,6 +193,9 @@ class TelemetryCollector:
 
     def on_kernel(self, event: KernelEvent) -> None:
         self._waves.inc(event.n_waves)
+        # exact for any stride: producers accumulate the true update total
+        # over the waves each event stands for, so per-epoch this sums to nnz
+        self._kernel_updates.inc(event.n_updates)
         if event.rows is not None and event.cols is not None and event.n_updates:
             frac = collision_fraction(event.rows, event.cols)
             self._wave_collisions.observe(frac)

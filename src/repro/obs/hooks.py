@@ -99,11 +99,16 @@ class KernelEvent:
     optional integer attribute on the hooks object, default 1): they emit
     one event per ``stride`` waves and set :attr:`n_waves` to the number of
     launches the event stands for, so wave *counts* stay exact while the
-    per-wave emission cost amortizes away. Eq. 6 conflict fractions are
-    then a 1-in-``stride`` sample — fine for a statistical quantity.
+    per-wave emission cost amortizes away. Likewise :attr:`n_updates` is
+    the **exact total** of updates across those ``n_waves`` launches (not
+    the last wave's size), so per-epoch update counts sum to ``nnz`` for
+    any stride. Eq. 6 conflict fractions are then a 1-in-``stride`` sample
+    (the event carries the last wave's coordinates) — fine for a
+    statistical quantity.
     """
 
     name: str
+    #: exact update total across the n_waves launches this event covers
     n_updates: int
     seconds: float = 0.0
     #: wave coordinates for Eq. 6 conflict accounting (may be None)

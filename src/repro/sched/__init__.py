@@ -8,6 +8,9 @@
   (Fig. 6) that replaces the 2-D table.
 * :mod:`repro.sched.ordering` — feasible block-update-order enumeration,
   reproducing the 8-of-24 example of Fig. 15.
+* :mod:`repro.sched.plan` — compiled epoch plans: the batch-Hogwild! wave
+  schedule as one cached index matrix, and the conflict-free serial
+  segmentation behind per-worker replay.
 """
 
 from repro.sched.column_lock import ColumnLockArray
@@ -18,6 +21,7 @@ from repro.sched.conflict import (
     independent,
     wave_is_conflict_free,
 )
+from repro.sched.plan import EpochPlan, PlanStats, SerialPlan
 from repro.sched.ordering import (
     count_feasible_orders,
     enumerate_feasible_orders,
@@ -33,6 +37,9 @@ __all__ = [
     "wave_is_conflict_free",
     "GlobalScheduleTable",
     "ColumnLockArray",
+    "EpochPlan",
+    "SerialPlan",
+    "PlanStats",
     "enumerate_feasible_orders",
     "count_feasible_orders",
     "feasible_order_fraction",

@@ -50,6 +50,23 @@ def count_conflicts(rows: np.ndarray, cols: np.ndarray) -> int:
     return conflicts
 
 
+def _count_conflicts_vectorized(rows: np.ndarray, cols: np.ndarray) -> int:
+    """Exact number of conflicting samples in a wave, O(s log s).
+
+    Same quantity as :func:`count_conflicts` (samples whose row duplicates an
+    earlier row or whose column duplicates an earlier column), computed from
+    first-occurrence masks instead of a Python loop.
+    """
+    s = len(rows)
+    if s == 0:
+        return 0
+    first_row = np.zeros(s, dtype=bool)
+    first_col = np.zeros(s, dtype=bool)
+    first_row[np.unique(rows, return_index=True)[1]] = True
+    first_col[np.unique(cols, return_index=True)[1]] = True
+    return int(np.count_nonzero(~(first_row & first_col)))
+
+
 def collision_fraction(rows: np.ndarray, cols: np.ndarray) -> float:
     """Fraction of the wave's updates that conflict (vectorized).
 
@@ -62,11 +79,7 @@ def collision_fraction(rows: np.ndarray, cols: np.ndarray) -> float:
     s = len(rows)
     if s == 0:
         return 0.0
-    first_row = np.zeros(s, dtype=bool)
-    first_col = np.zeros(s, dtype=bool)
-    first_row[np.unique(rows, return_index=True)[1]] = True
-    first_col[np.unique(cols, return_index=True)[1]] = True
-    return float(np.mean(~(first_row & first_col)))
+    return _count_conflicts_vectorized(rows, cols) / s
 
 
 def expected_collision_fraction(s: int, m: int, n: int) -> float:
@@ -118,14 +131,21 @@ class ConflictCounter:
     waves: int = 0
 
     def observe_wave(self, rows: np.ndarray, cols: np.ndarray) -> float:
-        """Accumulate one wave; returns its collision fraction."""
+        """Accumulate one wave; returns its collision fraction.
+
+        The conflict *count* is computed exactly (vectorized) and the
+        fraction derived from it — never reconstructed from a rounded
+        float, so ``conflicts`` always equals the sum of per-wave
+        :func:`count_conflicts` values.
+        """
         rows = np.asarray(rows)
+        cols = np.asarray(cols)
         n = len(rows)
-        frac = collision_fraction(rows, cols)
+        conflicts = _count_conflicts_vectorized(rows, cols)
         self.attempts += n
-        self.conflicts += round(frac * n)
+        self.conflicts += conflicts
         self.waves += 1
-        return frac
+        return conflicts / n if n else 0.0
 
     def abort_wave(self, n_samples: int) -> None:
         """Record a wave dropped before execution (its samples count as

@@ -7,6 +7,8 @@ The critical invariants:
 * fp16 storage works with fp32 compute.
 """
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -231,3 +233,60 @@ class TestWaveGradients:
         )
         assert np.array_equal(m.p, p0)
         assert np.array_equal(m.q, q0)
+
+
+class TestDivergenceSemantics:
+    """Diverging arithmetic must stay silent (documented NaN propagation).
+
+    An absurd learning rate blows the factors up to inf and then NaN within
+    a few waves; the kernel must not spray RuntimeWarnings (overflow /
+    invalid value) on every launch — divergence is detected downstream via
+    ``TrainHistory.diverged``, not stderr noise.
+    """
+
+    def _diverge(self, fn, *extra, **kw):
+        m = _model(m=30, n=25, k=8, seed=2)
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, 30, size=64).astype(np.int32)
+        cols = rng.integers(0, 25, size=64).astype(np.int32)
+        vals = rng.normal(size=64).astype(np.float32)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            for _ in range(60):
+                fn(m.p, m.q, rows, cols, vals, 1e20, 0.05, 0.05,
+                   *extra, **kw)
+        return m
+
+    def test_wave_update_warning_free(self):
+        m = self._diverge(sgd_wave_update)
+        assert np.isnan(m.p).any()  # NaN propagated, not raised
+
+    def test_wave_update_workspace_warning_free(self):
+        from repro.core.kernels import WaveWorkspace
+
+        m = self._diverge(sgd_wave_update, workspace=WaveWorkspace())
+        assert np.isnan(m.p).any()
+
+    def test_serial_update_warning_free(self):
+        m = self._diverge(sgd_serial_update)
+        assert np.isnan(m.p).any()
+
+    def test_single_update_warning_free(self):
+        m = _model(m=5, n=5, k=4, seed=3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            for _ in range(80):
+                single_update(m.p, m.q, 1, 2, 3.0, 1e20, 0.05)
+        assert not np.isfinite(m.p[1]).all()
+
+    def test_hogwild_epoch_warning_free(self, tiny_problem):
+        from repro.core.hogwild import BatchHogwild
+
+        spec = tiny_problem.spec
+        m = FactorModel.initialize(spec.m, spec.n, spec.k, seed=0)
+        sched = BatchHogwild(workers=16, f=8, seed=5)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            for _ in range(2):
+                sched.run_epoch(m, tiny_problem.train, 1e20, 0.05)
+        assert np.isnan(m.p).any()

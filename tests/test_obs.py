@@ -393,3 +393,38 @@ class TestObsCLI:
 
         assert main(["metrics-dump", "fig99"]) == 2
         assert "fig99" in capsys.readouterr().err
+
+
+class TestStrideUpdateAccounting:
+    """Regression: the updates counter is exact for *any* kernel stride.
+
+    The stride-window producers used to stamp each flushed event with only
+    the last wave's length (and the tail flush with 0), so the
+    ``repro.kernel.updates`` counter undercounted by up to ``(stride-1)/
+    stride`` whenever ``kernel_sample_every > 1``. Events must carry the
+    accumulated update total of every wave in their window: per epoch the
+    counter sums to exactly ``nnz`` regardless of stride.
+    """
+
+    @pytest.mark.parametrize("stride", [1, 7, 64])
+    @pytest.mark.parametrize("scheme", ["hogwild", "adagrad"])
+    def test_updates_counter_equals_nnz_per_epoch(
+        self, tiny_problem, stride, scheme
+    ):
+        from repro.core.adagrad import AdaGradHogwild
+        from repro.core.hogwild import BatchHogwild
+        from repro.core.model import FactorModel
+
+        train = tiny_problem.train
+        spec = tiny_problem.spec
+        cls = BatchHogwild if scheme == "hogwild" else AdaGradHogwild
+        sched = cls(workers=16, f=8, seed=3)
+        model = FactorModel.initialize(spec.m, spec.n, spec.k, seed=0)
+        collector = TelemetryCollector(kernel_sample_every=stride)
+        n_waves = sched.compiled_plan(train.nnz).n_waves
+        for epoch in range(1, 3):
+            sched.run_epoch(model, train, 0.05, 0.05, hooks=collector)
+            updates = collector.registry.get("repro.kernel.updates").value
+            waves = collector.registry.get("repro.kernel.waves").value
+            assert updates == epoch * train.nnz
+            assert waves == epoch * n_waves

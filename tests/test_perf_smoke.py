@@ -1,0 +1,85 @@
+"""Smoke test for the hot-path benchmark (marker: ``perf``).
+
+Runs ``benchmarks/bench_hot_path.py`` on its tiny quick config and checks
+the emitted ``BENCH_hot_path.json`` document against the pinned schema.
+Speed is *not* asserted here (timing on shared CI runners is noise at this
+scale); bit-identity between the plan path and the naive reference is — it
+is the benchmark's correctness contract and holds at any problem size.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.perf
+
+BENCH_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "bench_hot_path.py"
+)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    """The benchmark module, loaded by path (benchmarks/ is not a package)."""
+    spec = importlib.util.spec_from_file_location("bench_hot_path", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBenchHotPathSmoke:
+    def test_quick_run_emits_valid_document(self, bench, tmp_path):
+        out = tmp_path / "BENCH_hot_path.json"
+        doc = bench.main(["--quick", "--out", str(out)])
+        bench.validate_result(doc)  # raises on schema violations
+        assert doc["config"] == bench.QUICK_CONFIG
+        assert doc["bit_identical"] is True
+        on_disk = json.loads(out.read_text())
+        assert on_disk == doc
+
+    def test_validate_rejects_malformed_documents(self, bench):
+        good = {
+            "benchmark": "hot_path",
+            "schema_version": bench.SCHEMA_VERSION,
+            "config": dict(bench.QUICK_CONFIG),
+            "metrics": {
+                "epoch_seconds": 0.1, "naive_epoch_seconds": 0.2,
+                "speedup": 2.0, "updates_per_sec": 1e6,
+                "plan_compiles": 1, "plan_repermutes": 1,
+                "workspace_allocations": 2, "workspace_bytes": 1024,
+            },
+            "bit_identical": True,
+        }
+        bench.validate_result(good)
+        for mutate in (
+            lambda d: d.pop("bit_identical"),
+            lambda d: d.update(benchmark="other"),
+            lambda d: d.update(schema_version=99),
+            lambda d: d["config"].update(nnz=0),
+            lambda d: d["metrics"].update(speedup=-1.0),
+            lambda d: d["metrics"].update(plan_compiles=1.5),
+            lambda d: d["metrics"].pop("updates_per_sec"),
+        ):
+            bad = json.loads(json.dumps(good))
+            mutate(bad)
+            with pytest.raises(ValueError, match="invalid BENCH_hot_path"):
+                bench.validate_result(bad)
+
+    def test_naive_reference_matches_shipped_schedule(self, bench):
+        """The embedded reference must draw the same waves as BatchHogwild
+        — otherwise the race (and its bit-identity assertion) is vacuous."""
+        import numpy as np
+
+        from repro.core.hogwild import BatchHogwild
+
+        shipped = BatchHogwild(workers=8, f=16, seed=4)
+        naive = bench.NaiveBatchHogwild(workers=8, f=16, seed=4)
+        for _ in range(2):  # first epoch permutes, second shuffles
+            got = naive.wave_indices(1000)
+            want = shipped.wave_indices(1000)
+            assert len(got) == len(want)
+            assert all(np.array_equal(a, b) for a, b in zip(got, want))

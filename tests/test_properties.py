@@ -15,6 +15,7 @@ from repro.gpusim.contention import ContentionModel, scheduler_throughput
 from repro.gpusim.streams import StagedBlock, StreamPipeline
 from repro.metrics.flops import bytes_per_update, flops_per_update
 from repro.sched.conflict import (
+    ConflictCounter,
     collision_fraction,
     count_conflicts,
     expected_collision_fraction,
@@ -65,6 +66,25 @@ class TestConflictProperties:
         assert expected_collision_fraction(s, dim, dim) >= expected_collision_fraction(
             s - 1, dim, dim
         )
+
+    @given(st.lists(coo_samples(), min_size=1, max_size=5))
+    @settings(max_examples=60)
+    def test_observe_wave_accumulates_exact_counts(self, waves):
+        """ConflictCounter must agree with the serial count_conflicts on
+        every wave — the count is exact, never reconstructed from the
+        rounded collision fraction."""
+        counter = ConflictCounter()
+        expected_conflicts = 0
+        expected_attempts = 0
+        for rows, cols, _, _ in waves:
+            frac = counter.observe_wave(rows, cols)
+            conflicts = count_conflicts(rows, cols)
+            expected_conflicts += conflicts
+            expected_attempts += len(rows)
+            assert frac == conflicts / len(rows)
+        assert counter.conflicts == expected_conflicts
+        assert counter.attempts == expected_attempts
+        assert counter.waves == len(waves)
 
 
 class TestSegmentProperties:

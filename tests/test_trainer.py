@@ -26,6 +26,29 @@ class TestTrainHistory:
         assert h.epochs_to_target(0.95) == 1
         assert h.epochs_to_target(0.1) is None
 
+    def test_epochs_to_target_intermittent_eval(self):
+        """Regression: with eval_every > 1 the test RMSE list is shorter
+        than the epoch list; zipping them positionally reported the wrong
+        (too early) epoch. Epoch numbers must come from the epochs the
+        evaluations actually happened in."""
+        h = TrainHistory()
+        rmse_by_epoch = {3: 0.9, 6: 0.65, 9: 0.5}
+        for e in range(1, 10):
+            h.record(e, 0.1, 10, None, rmse_by_epoch.get(e))
+        assert h.test_rmse == [0.9, 0.65, 0.5]
+        assert h.test_epochs == [3, 6, 9]
+        assert h.epochs_to_target(0.7) == 6  # positional zip said epoch 2
+        assert h.epochs_to_target(0.9) == 3
+        assert h.epochs_to_target(0.4) is None
+
+    def test_epochs_to_target_hand_built_history(self):
+        """Histories with lists assigned directly (no record calls) keep
+        the legacy positional pairing."""
+        h = TrainHistory()
+        h.epochs = [1, 2, 3]
+        h.test_rmse = [0.9, 0.7, 0.5]
+        assert h.epochs_to_target(0.7) == 2
+
     def test_empty_history_errors(self):
         h = TrainHistory()
         with pytest.raises(ValueError):
