@@ -59,7 +59,7 @@ def profile_collisions(
             f"need at least {workers} samples to form a wave, have {ratings.nnz}"
         )
     rng = np.random.default_rng(seed)
-    fracs = np.empty(waves)
+    fracs = np.empty(waves, dtype=np.float64)  # lint: fp64-accumulator -- offline collision statistics
     for w in range(waves):
         idx = rng.choice(ratings.nnz, size=workers, replace=False)
         fracs[w] = collision_fraction(ratings.rows[idx], ratings.cols[idx])
@@ -90,7 +90,7 @@ def detect_divergence(
     """
     if patience < 1:
         raise ValueError(f"patience must be >= 1, got {patience}")
-    curve = np.asarray(history.test_rmse, dtype=np.float64)
+    curve = np.asarray(history.test_rmse, dtype=np.float64)  # lint: fp64-accumulator -- epoch-delta analysis in full precision
     if len(curve) == 0:
         raise ValueError("history has no test RMSE")
     if np.isnan(curve).any():

@@ -234,15 +234,15 @@ class WaveWorkspace:
             # row/col IDs are gathered as intp: per-wave take/scatter then
             # skips the index-cast numpy performs for narrower dtypes
             # (~4us/wave), and the IDs themselves are dtype-agnostic values
-            self._rows_w = np.empty(alloc, np.intp)
-            self._cols_w = np.empty(alloc, np.intp)
-            self._vals_w = np.empty(alloc, vals.dtype)
+            self._rows_w = np.empty(alloc, np.intp)  # lint: hotpath-alloc -- grow-once branch, amortized across epochs
+            self._cols_w = np.empty(alloc, np.intp)  # lint: hotpath-alloc -- grow-once branch, amortized across epochs
+            self._vals_w = np.empty(alloc, vals.dtype)  # lint: hotpath-alloc -- grow-once branch, amortized across epochs
             self._bound_shape = alloc
             self.allocations += 1
         cast = self._cast_cache
         if cast is None or cast[0] is not rows or cast[2] is not cols:
-            rows64 = rows if rows.dtype == np.intp else rows.astype(np.intp)
-            cols64 = cols if cols.dtype == np.intp else cols.astype(np.intp)
+            rows64 = rows if rows.dtype == np.intp else rows.astype(np.intp)  # lint: hotpath-alloc -- once per data array, cached below
+            cols64 = cols if cols.dtype == np.intp else cols.astype(np.intp)  # lint: hotpath-alloc -- once per data array, cached below
             self._cast_cache = cast = (rows, rows64, cols, cols64)
         rw = self._rows_w[: shape[0], : shape[1]]
         cw = self._cols_w[: shape[0], : shape[1]]
@@ -292,7 +292,7 @@ class WaveWorkspace:
         if vals.dtype == np.float32:
             np.subtract(vals, err, err)
         else:
-            np.subtract(vals.astype(np.float32), err, err)
+            np.subtract(vals.astype(np.float32), err, err)  # lint: hotpath-alloc -- non-fp32 ratings fallback, cold by contract
         lr32 = lr if type(lr) is np.float32 else np.float32(lr)
         lam_p32 = lam_p if type(lam_p) is np.float32 else np.float32(lam_p)
         lam_q32 = lam_q if type(lam_q) is np.float32 else np.float32(lam_q)
@@ -377,6 +377,23 @@ def sgd_wave_update(
     if workspace is not None:
         with np.errstate(**UPDATE_ERRSTATE):
             return workspace.wave_update(p, q, rows, cols, vals, lr, lam_p, lam_q)
+    return _wave_update_allocating(p, q, rows, cols, vals, lr, lam_p, lam_q)
+
+
+def _wave_update_allocating(
+    p: np.ndarray,
+    q: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    lr: float,
+    lam_p: float,
+    lam_q: float,
+) -> np.ndarray:
+    """Legacy allocating wave kernel — the reference the workspace path must
+    match bit for bit. Not registered hot: steady-state training binds a
+    :class:`WaveWorkspace`; this body allocates fresh temporaries per wave.
+    """
     with np.errstate(**UPDATE_ERRSTATE):
         pu = _gather(p, rows)
         qv = _gather(q, cols)

@@ -101,7 +101,7 @@ def remove_biases(
     if damping < 0:
         raise ValueError(f"damping must be non-negative, got {damping}")
     mu = float(ratings.vals.mean())
-    resid = ratings.vals.astype(np.float64) - mu
+    resid = ratings.vals.astype(np.float64) - mu  # lint: fp64-accumulator -- bias fitting accumulates sums over nnz samples
 
     user_sum = np.bincount(ratings.rows, weights=resid, minlength=ratings.n_rows)
     user_cnt = np.bincount(ratings.rows, minlength=ratings.n_rows)

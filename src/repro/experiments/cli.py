@@ -12,6 +12,7 @@ Subcommands::
     cumf-sgd metrics-dump fig10 --out results/fig10_metrics.json
     cumf-sgd fault-demo --seed 0 --out results/fault_metrics.json
     cumf-sgd train netflix-syn --scheme multi_device --fault-plan plan.json
+    cumf-sgd lint [paths...] [--format json]   # reprolint static analysis
 
 ``fault-demo`` replays the documented kill-one-GPU-mid-epoch scenario
 (device 2 of 4 dies after its third block) and prints the
@@ -157,6 +158,14 @@ def _build_parser() -> argparse.ArgumentParser:
     fault_p.add_argument("--full", action="store_true", help="full-scale run")
     fault_p.add_argument("--out", type=Path,
                          help="write the (deterministic) metrics registry JSON")
+
+    from repro.lint.cli import add_lint_arguments
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="run reprolint: AST invariant checker + schedule race detector",
+    )
+    add_lint_arguments(lint_p)
     return parser
 
 
@@ -393,6 +402,12 @@ def _cmd_throughput(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import run_from_args
+
+    return run_from_args(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI dispatch; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -410,6 +425,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "metrics-dump": _cmd_metrics_dump,
         "fault-demo": _cmd_fault_demo,
+        "lint": _cmd_lint,
     }[args.command](args)
 
 

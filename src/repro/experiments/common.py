@@ -54,6 +54,7 @@ def timed(name: str, **labels):
     after the block exits.
     """
     from repro.obs.context import active_registry
+    from repro.obs.registry import M
 
     result = {"seconds": 0.0}
     start = time.perf_counter()
@@ -64,7 +65,7 @@ def timed(name: str, **labels):
         registry = active_registry()
         if registry is not None:
             series = registry.series(
-                "repro.exp.elapsed_seconds", {"name": name, **labels}
+                M.EXP_ELAPSED_SECONDS, {"name": name, **labels}
             )
             series.append(len(series), result["seconds"])
 

@@ -61,7 +61,7 @@ def run_fault_demo(seed: int = 0, quick: bool = True):
     from repro.core.multi_gpu import MultiDeviceSGD
     from repro.data.synthetic import DatasetSpec, make_synthetic
     from repro.obs.hooks import RecordingHooks
-    from repro.obs.registry import MetricsRegistry
+    from repro.obs.registry import M, MetricsRegistry
     from repro.resilience.faults import FaultInjector
     from repro.resilience.retry import RetryPolicy
 
@@ -84,12 +84,12 @@ def run_fault_demo(seed: int = 0, quick: bool = True):
     recorder = RecordingHooks()
     updates = sgd.run_epoch(model, problem.train, 0.05, 0.05, hooks=recorder)
 
-    registry.counter("repro.resilience.demo.updates").inc(updates)
-    registry.counter("repro.resilience.demo.blocks").inc(len(recorder.batches))
-    registry.counter("repro.resilience.demo.rounds").inc(sgd.ledger.rounds)
-    registry.counter("repro.transfer.h2d_bytes").inc(sgd.ledger.h2d_bytes)
-    registry.counter("repro.transfer.d2h_bytes").inc(sgd.ledger.d2h_bytes)
-    registry.counter("repro.resilience.retried_bytes").inc(sgd.ledger.retried_bytes)
+    registry.counter(M.RESILIENCE_DEMO_UPDATES).inc(updates)
+    registry.counter(M.RESILIENCE_DEMO_BLOCKS).inc(len(recorder.batches))
+    registry.counter(M.RESILIENCE_DEMO_ROUNDS).inc(sgd.ledger.rounds)
+    registry.counter(M.TRANSFER_H2D_BYTES).inc(sgd.ledger.h2d_bytes)
+    registry.counter(M.TRANSFER_D2H_BYTES).inc(sgd.ledger.d2h_bytes)
+    registry.counter(M.RESILIENCE_RETRIED_BYTES).inc(sgd.ledger.retried_bytes)
 
     blocks = [event.block for event in recorder.batches]
     survivor_blocks = sum(

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.obs.context import active_registry, active_tracer
+from repro.obs.registry import M
 from repro.obs.tracer import SIM_PID
 
 __all__ = ["EventSimResult", "simulate_scheduler"]
@@ -135,7 +136,7 @@ def simulate_scheduler(
                 if w not in dead:
                     dead.add(w)
                     if registry_early is not None:
-                        registry_early.counter("repro.resilience.device_lost").inc()
+                        registry_early.counter(M.RESILIENCE_DEVICE_LOST).inc()
                 continue  # worker gone: not requeued; survivors absorb the budget
         take = min(updates_per_block, epoch_updates - issued)
         if take <= 0:
@@ -183,10 +184,10 @@ def simulate_scheduler(
     registry = active_registry()
     if registry is not None:
         registry.counter(
-            "repro.sim.sched.wait_seconds", {"scheme": scheme}
+            M.SIM_SCHED_WAIT_SECONDS, {"scheme": scheme}
         ).inc(wait_time)
         registry.gauge(
-            "repro.sim.sched.utilization", {"scheme": scheme, "workers": workers}
+            M.SIM_SCHED_UTILIZATION, {"scheme": scheme, "workers": workers}
         ).set(
             1.0 - wait_time / (makespan * workers) if makespan > 0 else 1.0
         )

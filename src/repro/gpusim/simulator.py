@@ -23,6 +23,7 @@ from repro.gpusim.specs import CPUSpec, GPUSpec
 from repro.gpusim.streams import StagedBlock, StreamPipeline
 from repro.metrics.flops import bytes_per_update
 from repro.obs.context import active_registry
+from repro.obs.registry import M
 
 __all__ = [
     "PerfPoint",
@@ -49,13 +50,13 @@ def _record_perf_point(point: "PerfPoint", occupancy: float | None = None) -> No
         "dataset": point.dataset,
         "workers": point.workers,
     }
-    registry.gauge("repro.perf.updates_per_sec", labels).set(point.updates_per_sec)
-    registry.gauge("repro.perf.effective_bandwidth_gbs", labels).set(
+    registry.gauge(M.PERF_UPDATES_PER_SEC, labels).set(point.updates_per_sec)
+    registry.gauge(M.PERF_EFFECTIVE_BANDWIDTH_GBS, labels).set(
         point.effective_bandwidth_gbs
     )
     if occupancy is not None:
         registry.gauge(
-            "repro.sim.occupancy.fraction",
+            M.SIM_OCCUPANCY_FRACTION,
             {"device": point.device, "workers": point.workers},
         ).set(occupancy)
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.obs.context import active_registry, active_tracer
+from repro.obs.registry import M
 from repro.obs.tracer import SIM_PID
 from repro.resilience.retry import RetryPolicy
 
@@ -175,10 +176,10 @@ class StreamPipeline:
         registry = active_registry()
         if registry is not None:
             registry.gauge(
-                "repro.sim.stream.overlap_fraction", {"device": device}
+                M.SIM_STREAM_OVERLAP_FRACTION, {"device": device}
             ).set(result.compute_utilization)
             registry.gauge(
-                "repro.sim.stream.exposed_transfer_seconds", {"device": device}
+                M.SIM_STREAM_EXPOSED_TRANSFER_SECONDS, {"device": device}
             ).set(result.exposed_transfer)
         return result
 
@@ -239,9 +240,9 @@ def _rebalance_dead_devices(
     if registry is not None:
         dead = len(per_device_blocks) - len(survivors)
         if dead:
-            registry.counter("repro.resilience.device_lost").inc(dead)
+            registry.counter(M.RESILIENCE_DEVICE_LOST).inc(dead)
         if orphans:
-            registry.counter("repro.resilience.blocks_rebalanced").inc(len(orphans))
+            registry.counter(M.RESILIENCE_BLOCKS_REBALANCED).inc(len(orphans))
     for n, blk in enumerate(orphans):
         kept[survivors[n % len(survivors)]].append(blk)
     return kept

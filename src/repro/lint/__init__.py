@@ -1,0 +1,65 @@
+"""reprolint: the repo's own static-analysis framework.
+
+An AST-based invariant checker + schedule race detector that locks in the
+guarantees earlier PRs established by construction:
+
+* ``hotpath-alloc`` — registered hot-path functions stay allocation-free in
+  steady state (:mod:`repro.lint.allocations`);
+* ``dtype-fp64`` — no fp64 leakage into the fp32 kernel path
+  (:mod:`repro.lint.dtypes`);
+* ``rng-legacy`` — all randomness flows through seeded ``Generator`` objects
+  (:mod:`repro.lint.rng`);
+* ``metric-name`` — every ``repro.*`` metric name matches the manifest in
+  :mod:`repro.obs.registry` (:mod:`repro.lint.telemetry`);
+* ``race-shared-write`` / ``race-schedule`` — threaded executors respect the
+  declared lock discipline, and compiled schedules are mechanically verified
+  conflict-free (:mod:`repro.lint.races`).
+
+Entry points: ``repro lint`` / ``cumf-sgd lint`` (main CLI),
+``python -m repro.lint`` (standalone), :func:`run_lint` (library), and the
+tier-1 gate ``tests/test_lint_clean.py``. See ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from repro.lint.core import FileContext, Finding, LintPass
+from repro.lint.driver import (
+    DEFAULT_PASSES,
+    LintReport,
+    iter_python_files,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+from repro.lint.hotpaths import HOT_FUNCTIONS, HotSpec, hot_path
+from repro.lint.races import (
+    check_epoch_plan,
+    check_round_grants,
+    check_serial_plan,
+    check_wavefront_sequences,
+    schedule_selfcheck,
+    simulate_wavefront_rounds,
+)
+from repro.lint.report import to_human, to_json, to_json_dict
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "LintPass",
+    "LintReport",
+    "DEFAULT_PASSES",
+    "run_lint",
+    "iter_python_files",
+    "load_baseline",
+    "write_baseline",
+    "HOT_FUNCTIONS",
+    "HotSpec",
+    "hot_path",
+    "check_serial_plan",
+    "check_epoch_plan",
+    "check_wavefront_sequences",
+    "check_round_grants",
+    "simulate_wavefront_rounds",
+    "schedule_selfcheck",
+    "to_human",
+    "to_json",
+    "to_json_dict",
+]

@@ -1,0 +1,140 @@
+"""Pass 1: hot-path allocation detector (rule ``hotpath-alloc``).
+
+The PR-3 contract: once warm, ``sgd_wave_update`` / ``sgd_serial_update`` /
+the :class:`~repro.core.kernels.WaveWorkspace` family and the compiled-plan
+refill path perform **zero** NumPy allocations per wave — every temporary
+lives in preallocated workspace buffers driven through ``out=`` ufunc calls.
+This pass re-proves that claim on every lint run by flagging, inside each
+registered hot function (see :mod:`repro.lint.hotpaths`):
+
+* calls to allocating NumPy constructors/combinators (``np.zeros``,
+  ``np.empty``, ``np.concatenate``, ``np.einsum`` …) **unless** the call
+  passes an ``out=`` keyword (out-driven ufuncs write into scratch);
+* copying methods — ``.astype(...)``, ``.copy()``, ``.flatten()``;
+* fancy-index *loads* over declared index parameters (``p[rows]`` gathers a
+  fresh array; the kernels use ``take(..., out=...)`` — in-place scatter
+  stores remain legal).
+
+Cold branches inside a hot body (growth reallocation, dtype-compat
+fallbacks) are annotated with ``# lint: hotpath-alloc -- <why>`` at the call
+site, which both documents the exception and keeps the gate green.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.core import FileContext, Finding, LintPass
+from repro.lint.hotpaths import HotSpec, find_hot_functions
+
+__all__ = ["HotPathAllocationPass", "ALLOCATING_NP_FUNCTIONS", "ALLOCATING_METHODS"]
+
+#: ``np.<name>(...)`` calls that materialize a fresh array (or list) unless
+#: given ``out=``.
+ALLOCATING_NP_FUNCTIONS = frozenset({
+    "array", "asarray", "ascontiguousarray", "asfortranarray", "copy",
+    "empty", "empty_like", "zeros", "zeros_like", "ones", "ones_like",
+    "full", "full_like", "arange", "linspace",
+    "concatenate", "stack", "hstack", "vstack", "dstack", "column_stack",
+    "tile", "repeat", "pad", "where", "unique", "sort", "argsort",
+    "nonzero", "flatnonzero", "einsum", "dot", "matmul", "outer",
+    "meshgrid", "indices", "split", "array_split",
+})
+
+#: array methods that always hand back a fresh buffer
+ALLOCATING_METHODS = frozenset({"astype", "copy", "flatten"})
+
+_NUMPY_ALIASES = ("np", "numpy")
+
+
+def _has_out_kwarg(call: ast.Call) -> bool:
+    return any(kw.arg == "out" for kw in call.keywords)
+
+
+def _np_func_name(call: ast.Call) -> str | None:
+    """``np.zeros(...)`` -> ``"zeros"``; anything else -> None."""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in _NUMPY_ALIASES
+    ):
+        return func.attr
+    return None
+
+
+def _iter_hot_body(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AST]:
+    """Walk a hot function's own body, including nested defs (conservative:
+    a closure allocated per call is still a hot-path allocation)."""
+    yield from ast.walk(fn)
+
+
+class HotPathAllocationPass(LintPass):
+    rule = "hotpath-alloc"
+    description = (
+        "registered hot-path functions may not allocate in steady state "
+        "(no allocating np constructors, .astype/.copy, or fancy-index "
+        "gather loads)"
+    )
+    tags = ("hotpath-alloc-setup",)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for fn, spec in find_hot_functions(ctx).items():
+            symbol = ctx.qualnames.get(fn, fn.name)
+            yield from self._check_function(ctx, fn, spec, symbol)
+
+    # ------------------------------------------------------------------
+    def _check_function(
+        self,
+        ctx: FileContext,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        spec: HotSpec,
+        symbol: str,
+    ) -> Iterator[Finding]:
+        for node in _iter_hot_body(fn):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, symbol)
+            elif isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Load):
+                yield from self._check_subscript(ctx, node, spec, symbol)
+
+    def _check_call(
+        self, ctx: FileContext, call: ast.Call, symbol: str
+    ) -> Iterator[Finding]:
+        np_name = _np_func_name(call)
+        if np_name in ALLOCATING_NP_FUNCTIONS and not _has_out_kwarg(call):
+            yield Finding(
+                ctx.rel, call.lineno, call.col_offset, self.rule,
+                f"np.{np_name}(...) allocates on the hot path "
+                "(use preallocated workspace buffers / out=)",
+                symbol,
+            )
+            return
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ALLOCATING_METHODS
+            and np_name is None
+        ):
+            yield Finding(
+                ctx.rel, call.lineno, call.col_offset, self.rule,
+                f".{func.attr}(...) copies on the hot path "
+                "(pre-coerce during setup or write into scratch)",
+                symbol,
+            )
+
+    def _check_subscript(
+        self, ctx: FileContext, sub: ast.Subscript, spec: HotSpec, symbol: str
+    ) -> Iterator[Finding]:
+        if not spec.index_params:
+            return
+        idx = sub.slice
+        if isinstance(idx, ast.Name) and idx.id in spec.index_params:
+            yield Finding(
+                ctx.rel, sub.lineno, sub.col_offset, self.rule,
+                f"fancy-index load with index array {idx.id!r} gathers a "
+                "fresh copy (use .take(..., out=...) into workspace scratch)",
+                symbol,
+            )

@@ -1,0 +1,91 @@
+"""CLI plumbing for ``repro lint`` / ``cumf-sgd lint`` / ``python -m
+repro.lint``.
+
+Shared between the main experiment CLI (which mounts these arguments on its
+``lint`` subcommand) and the standalone module entry point, so both spell
+the same flags and return the same exit codes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+__all__ = ["add_lint_arguments", "run_from_args", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: src, else the repro "
+        "package directory)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        dest="lint_format", help="report format (default human)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path,
+        help="JSON baseline of grandfathered findings to filter out",
+    )
+    parser.add_argument(
+        "--write-baseline", type=Path,
+        help="write the current findings as a baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-passes", action="store_true",
+        help="list the registered passes and exit",
+    )
+
+
+def _default_paths() -> list[Path]:
+    src = Path("src")
+    if src.is_dir():
+        return [src]
+    import repro
+
+    return [Path(repro.__file__).parent]
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    from repro.lint.driver import (
+        DEFAULT_PASSES,
+        load_baseline,
+        run_lint,
+        write_baseline,
+    )
+    from repro.lint.report import to_human, to_json
+
+    if args.list_passes:
+        for pass_cls in DEFAULT_PASSES:
+            p = pass_cls()
+            print(f"{p.rule:18s} {p.description}")
+        return 0
+    paths = args.paths or _default_paths()
+    try:
+        baseline = load_baseline(args.baseline) if args.baseline else None
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = run_lint(paths, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        out = write_baseline(args.write_baseline, report)
+        print(f"baseline with {len(report.findings)} findings -> {out}")
+        return 0
+    print(to_json(report) if args.lint_format == "json" else to_human(report))
+    return report.exit_code
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="reprolint: AST invariant checker + schedule race "
+        "detector for the CuMF_SGD reproduction",
+    )
+    add_lint_arguments(parser)
+    return run_from_args(parser.parse_args(argv))

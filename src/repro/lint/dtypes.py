@@ -1,0 +1,159 @@
+"""Pass 2: dtype discipline (rule ``dtype-fp64``).
+
+The kernels are bit-identical *in fp32* (§4's half-precision argument needs
+fp32 accumulate / fp16 store; the serial-equivalence proofs in
+``tests/test_plan.py`` are fp32 proofs). One stray ``float64`` in the kernel
+path silently doubles feature traffic and breaks bit-identity with the
+reference, so:
+
+* **everywhere in ``src/``** — explicit fp64 markers are flagged:
+  ``np.float64`` in any position (``dtype=np.float64``,
+  ``.astype(np.float64)``, ``np.float64(x)``), string dtypes ``"float64"``
+  / ``"f8"``, and Python's ``float`` used as a dtype (``dtype=float``,
+  ``.astype(float)``). Intentional double-precision accumulators (bias
+  sums, analytic closed forms, RMSE curves) carry a
+  ``# lint: fp64-accumulator -- <why>`` annotation;
+* **inside hot functions only** — *bare* array constructors with no dtype
+  argument (``np.empty(n)`` defaults to fp64) and arithmetic with Python
+  float literals (scalar promotion hazards) are additionally flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.core import FileContext, Finding, LintPass
+from repro.lint.hotpaths import find_hot_functions
+
+__all__ = ["DtypeDisciplinePass"]
+
+_NUMPY_ALIASES = ("np", "numpy")
+_FP64_STRINGS = frozenset({"float64", "f8", "double", ">f8", "<f8", "=f8"})
+#: constructors whose dtype defaults to float64 when omitted
+_DTYPE_DEFAULTING = frozenset({
+    "array", "asarray", "empty", "zeros", "ones", "full", "arange", "linspace",
+})
+
+
+def _is_np_float64(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr in ("float64", "double", "longdouble")
+        and isinstance(node.value, ast.Name)
+        and node.value.id in _NUMPY_ALIASES
+    )
+
+
+def _is_fp64_marker(node: ast.AST) -> bool:
+    """np.float64 / "float64" / builtin float-as-dtype."""
+    if _is_np_float64(node):
+        return True
+    if isinstance(node, ast.Constant) and node.value in _FP64_STRINGS:
+        return True
+    return False
+
+
+def _np_call_name(call: ast.Call) -> str | None:
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in _NUMPY_ALIASES
+    ):
+        return func.attr
+    return None
+
+
+class DtypeDisciplinePass(LintPass):
+    rule = "dtype-fp64"
+    description = (
+        "fp64 leakage into the fp32 kernel path: explicit float64 dtypes "
+        "anywhere; bare (fp64-defaulting) constructors and Python-float "
+        "literal arithmetic inside hot functions"
+    )
+    tags = ("fp64-accumulator",)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        hot_nodes: set[ast.AST] = set()
+        for fn, _spec in find_hot_functions(ctx).items():
+            hot_nodes.update(ast.walk(fn))
+            yield from self._check_hot(ctx, fn)
+        yield from self._check_everywhere(ctx)
+
+    # -- src-wide explicit fp64 markers --------------------------------
+    def _check_everywhere(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call_fp64(ctx, node)
+
+    def _check_call_fp64(self, ctx: FileContext, call: ast.Call) -> Iterator[Finding]:
+        # np.float64(x) constructor
+        if _is_np_float64(call.func):
+            yield self._finding(ctx, call, "np.float64(...) builds a double-"
+                                "precision scalar in an fp32 code base")
+            return
+        # dtype= keyword carrying an fp64 marker (or builtin float)
+        for kw in call.keywords:
+            if kw.arg == "dtype" and (
+                _is_fp64_marker(kw.value)
+                or (isinstance(kw.value, ast.Name) and kw.value.id == "float")
+            ):
+                yield self._finding(ctx, kw.value,
+                                    "explicit float64 dtype in an fp32 code base")
+        # .astype(np.float64 / "float64" / float) and positional dtype args
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr == "astype" and call.args:
+            arg = call.args[0]
+            if _is_fp64_marker(arg) or (
+                isinstance(arg, ast.Name) and arg.id == "float"
+            ):
+                yield self._finding(ctx, call,
+                                    ".astype to float64 in an fp32 code base")
+        elif _np_call_name(call) in _DTYPE_DEFAULTING and len(call.args) >= 2:
+            arg = call.args[1]
+            if _is_fp64_marker(arg) or (
+                isinstance(arg, ast.Name) and arg.id == "float"
+            ):
+                yield self._finding(ctx, call,
+                                    "positional float64 dtype in an fp32 code base")
+
+    # -- hot-function-only rules ---------------------------------------
+    def _check_hot(
+        self, ctx: FileContext, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        symbol = ctx.qualnames.get(fn, fn.name)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                name = _np_call_name(node)
+                if (
+                    name in _DTYPE_DEFAULTING
+                    and len(node.args) < 2
+                    and not any(kw.arg == "dtype" for kw in node.keywords)
+                ):
+                    yield Finding(
+                        ctx.rel, node.lineno, node.col_offset, self.rule,
+                        f"np.{name}(...) without an explicit dtype defaults "
+                        "to float64 inside a hot function",
+                        symbol,
+                    )
+            elif isinstance(node, ast.BinOp):
+                for side in (node.left, node.right):
+                    if isinstance(side, ast.Constant) and type(side.value) is float:
+                        yield Finding(
+                            ctx.rel, node.lineno, node.col_offset, self.rule,
+                            f"Python float literal {side.value!r} in hot-path "
+                            "arithmetic risks fp64 scalar promotion (wrap in "
+                            "np.float32 during setup)",
+                            symbol,
+                        )
+                        break
+
+    def _finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            ctx.rel,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            self.rule,
+            message,
+        )

@@ -1,0 +1,53 @@
+"""reprolint reporters: human-readable text and machine-readable JSON.
+
+The JSON shape is stable (CI parses it): ``findings``/``suppressed``/
+``baselined`` lists of finding dicts plus summary counts and the pass roster.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.driver import LintReport
+
+__all__ = ["to_human", "to_json_dict", "to_json"]
+
+
+def to_human(report: LintReport) -> str:
+    lines: list[str] = [f.format() for f in report.findings]
+    lines.extend(f"error: {err}" for err in report.errors)
+    n, s, b = len(report.findings), len(report.suppressed), len(report.baselined)
+    extras = []
+    if s:
+        extras.append(f"{s} suppressed")
+    if b:
+        extras.append(f"{b} baselined")
+    extra = f" ({', '.join(extras)})" if extras else ""
+    verdict = "clean" if report.clean else f"{n} finding{'s' if n != 1 else ''}"
+    lines.append(
+        f"reprolint: {verdict}{extra} across {len(report.files)} files "
+        f"[{', '.join(report.passes)}]"
+    )
+    return "\n".join(lines)
+
+
+def to_json_dict(report: LintReport) -> dict:
+    return {
+        "clean": report.clean,
+        "counts": {
+            "findings": len(report.findings),
+            "suppressed": len(report.suppressed),
+            "baselined": len(report.baselined),
+            "files": len(report.files),
+            "errors": len(report.errors),
+        },
+        "passes": report.passes,
+        "findings": [f.to_dict() for f in report.findings],
+        "suppressed": [f.to_dict() for f in report.suppressed],
+        "baselined": [f.to_dict() for f in report.baselined],
+        "errors": report.errors,
+    }
+
+
+def to_json(report: LintReport, indent: int | None = 2) -> str:
+    return json.dumps(to_json_dict(report), indent=indent, sort_keys=True)

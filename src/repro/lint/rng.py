@@ -1,0 +1,89 @@
+"""Pass 3: seeded-RNG discipline (rule ``rng-legacy``).
+
+Reproducibility (bit-identical metric dumps per seed, the resilience
+subsystem's byte-identical fault replays) hinges on every random draw coming
+from a ``numpy.random.Generator`` threaded from configuration. The legacy
+module-level API (``np.random.rand``, ``np.random.seed``,
+``np.random.shuffle`` …) draws from hidden global state that any import can
+perturb, so it is banned in ``src/``.
+
+Allowed: constructing explicit generator machinery — ``default_rng``,
+``Generator``, ``SeedSequence``, and the bit-generator classes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.core import FileContext, Finding, LintPass
+
+__all__ = ["SeededRngPass", "ALLOWED_RANDOM_ATTRS"]
+
+#: np.random attributes that construct explicit, seedable machinery
+ALLOWED_RANDOM_ATTRS = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+_NUMPY_ALIASES = ("np", "numpy")
+
+
+def _random_module_aliases(tree: ast.Module) -> set[str]:
+    """Local names bound to the numpy.random module itself."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy.random" and alias.asname:
+                    aliases.add(alias.asname)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+class SeededRngPass(LintPass):
+    rule = "rng-legacy"
+    description = (
+        "legacy module-level np.random.* draws from hidden global state; "
+        "thread a seeded np.random.Generator from config instead"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        aliases = _random_module_aliases(ctx.tree)
+        yield from self._check_imports(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr in ALLOWED_RANDOM_ATTRS:
+                continue
+            value = node.value
+            is_np_random = (
+                isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in _NUMPY_ALIASES
+            )
+            is_alias = isinstance(value, ast.Name) and value.id in aliases
+            if is_np_random or is_alias:
+                yield Finding(
+                    ctx.rel, node.lineno, node.col_offset, self.rule,
+                    f"legacy np.random.{node.attr} uses hidden global RNG "
+                    "state; use a Generator from np.random.default_rng(seed)",
+                )
+
+    def _check_imports(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            if node.module in ("numpy.random", "numpy.random.mtrand"):
+                for alias in node.names:
+                    if alias.name not in ALLOWED_RANDOM_ATTRS:
+                        yield Finding(
+                            ctx.rel, node.lineno, node.col_offset, self.rule,
+                            f"importing legacy {alias.name!r} from "
+                            "numpy.random; use Generator machinery instead",
+                        )

@@ -1,0 +1,114 @@
+"""Pass 4: telemetry-namespace discipline (rule ``metric-name``).
+
+``docs/OBSERVABILITY.md`` treats the ``repro.*`` metric names as an API, and
+PR 2 added dashboards and byte-identical artifact comparisons keyed on them
+— a typo'd name at one call site silently forks a counter and every
+downstream consumer reads zeros. The manifest in
+:mod:`repro.obs.registry` (class ``M`` + ``METRIC_MANIFEST``) is the single
+source of truth; this pass checks every registry/tracer call site against
+it:
+
+* a **string literal** first argument starting with ``repro.`` must be an
+  exact manifest name or live under a declared dynamic prefix;
+* an **f-string** first argument must have a constant head that starts with
+  one of the dynamic prefixes (``f"repro.resilience.{name}"``) — anything
+  else is statically unverifiable and flagged;
+* an ``M.<CONST>`` attribute argument must name a real manifest constant
+  (catching typos on the constants themselves).
+
+Checked call sites: ``.counter( / .gauge( / .histogram( / .series(`` (mint)
+and ``.get( / .family( / .value(`` (lookup) on any receiver.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.core import FileContext, Finding, LintPass
+
+__all__ = ["TelemetryNamespacePass", "METRIC_CALL_METHODS"]
+
+#: methods whose first argument is a metric name
+METRIC_CALL_METHODS = frozenset(
+    {"counter", "gauge", "histogram", "series", "get", "family", "value"}
+)
+
+
+class TelemetryNamespacePass(LintPass):
+    rule = "metric-name"
+    description = (
+        "every repro.* metric name used at a registry/tracer call site must "
+        "match the manifest declared in repro.obs.registry"
+    )
+
+    def __init__(self) -> None:
+        # resolved lazily so the lint framework imports without repro.obs
+        self._manifest: frozenset[str] | None = None
+        self._prefixes: tuple[str, ...] = ()
+
+    def _load_manifest(self) -> None:
+        if self._manifest is None:
+            from repro.obs.registry import DYNAMIC_METRIC_PREFIXES, METRIC_MANIFEST
+
+            self._manifest = METRIC_MANIFEST
+            self._prefixes = DYNAMIC_METRIC_PREFIXES
+
+    # ------------------------------------------------------------------
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        self._load_manifest()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in METRIC_CALL_METHODS
+                and node.args
+            ):
+                continue
+            finding = self._check_name_arg(ctx, node.args[0])
+            if finding is not None:
+                yield finding
+
+    def _check_name_arg(self, ctx: FileContext, arg: ast.AST) -> Finding | None:
+        assert self._manifest is not None
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            name = arg.value
+            if not name.startswith("repro."):
+                return None
+            if name in self._manifest or name.startswith(self._prefixes):
+                return None
+            return Finding(
+                ctx.rel, arg.lineno, arg.col_offset, self.rule,
+                f"metric name {name!r} is not in the repro.* manifest "
+                "(declare it on repro.obs.registry.M or fix the typo)",
+            )
+        if isinstance(arg, ast.JoinedStr):
+            head = ""
+            if arg.values and isinstance(arg.values[0], ast.Constant):
+                head = str(arg.values[0].value)
+            if not head.startswith("repro."):
+                return None
+            if head.startswith(self._prefixes):
+                return None
+            return Finding(
+                ctx.rel, arg.lineno, arg.col_offset, self.rule,
+                f"dynamic metric name f{head + '{…}'!r} is outside the "
+                "declared dynamic prefixes "
+                "(repro.obs.registry.DYNAMIC_METRIC_PREFIXES)",
+            )
+        # M.CONST — verify the constant exists on the manifest class
+        if (
+            isinstance(arg, ast.Attribute)
+            and isinstance(arg.value, ast.Name)
+            and arg.value.id == "M"
+        ):
+            from repro.obs.registry import M
+
+            if not hasattr(M, arg.attr):
+                return Finding(
+                    ctx.rel, arg.lineno, arg.col_offset, self.rule,
+                    f"M.{arg.attr} is not a declared manifest constant",
+                )
+        return None

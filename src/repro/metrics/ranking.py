@@ -22,7 +22,7 @@ def top_n(
     """
     if n <= 0:
         raise ValueError(f"n must be positive, got {n}")
-    scores = np.asarray(scores, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)  # lint: fp64-accumulator -- ranking ties resolved in full precision
     if scores.ndim != 1:
         raise ValueError("scores must be 1-D")
     if exclude is not None and len(exclude):

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from repro.metrics.throughput import effective_bandwidth
 from repro.obs.hooks import BatchEvent, EpochEvent, KernelEvent, TransferEvent
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import M, MetricsRegistry
 from repro.obs.tracer import WALL_PID, Tracer
 from repro.sched.conflict import collision_fraction
 
@@ -94,22 +94,22 @@ class TelemetryCollector:
         reg = self.registry
         # hot-path metric handles, resolved once
         self._epoch_seconds = reg.histogram(
-            "repro.train.epoch_seconds", EPOCH_SECONDS_BUCKETS
+            M.TRAIN_EPOCH_SECONDS, EPOCH_SECONDS_BUCKETS
         )
-        self._updates = reg.counter("repro.train.updates")
-        self._eval_seconds = reg.counter("repro.train.eval_seconds")
-        self._waves = reg.counter("repro.kernel.waves")
-        self._kernel_updates = reg.counter("repro.kernel.updates")
+        self._updates = reg.counter(M.TRAIN_UPDATES)
+        self._eval_seconds = reg.counter(M.TRAIN_EVAL_SECONDS)
+        self._waves = reg.counter(M.KERNEL_WAVES)
+        self._kernel_updates = reg.counter(M.KERNEL_UPDATES)
         self._wave_collisions = reg.histogram(
-            "repro.kernel.wave_collision_fraction", FRACTION_BUCKETS
+            M.KERNEL_WAVE_COLLISION_FRACTION, FRACTION_BUCKETS
         )
-        self._lock_attempts = reg.counter("repro.sched.lock.attempts")
-        self._lock_waits = reg.counter("repro.sched.lock.waits")
-        self._lock_aborts = reg.counter("repro.sched.lock.aborts")
-        self._rounds = reg.counter("repro.sched.rounds")
-        self._h2d = reg.counter("repro.transfer.h2d_bytes")
-        self._d2h = reg.counter("repro.transfer.d2h_bytes")
-        self._batches = reg.counter("repro.sched.batches")
+        self._lock_attempts = reg.counter(M.SCHED_LOCK_ATTEMPTS)
+        self._lock_waits = reg.counter(M.SCHED_LOCK_WAITS)
+        self._lock_aborts = reg.counter(M.SCHED_LOCK_ABORTS)
+        self._rounds = reg.counter(M.SCHED_ROUNDS)
+        self._h2d = reg.counter(M.TRANSFER_H2D_BYTES)
+        self._d2h = reg.counter(M.TRANSFER_D2H_BYTES)
+        self._batches = reg.counter(M.SCHED_BATCHES)
 
     # ------------------------------------------------------------------
     # TrainerHooks protocol
@@ -119,30 +119,30 @@ class TelemetryCollector:
         self._epoch_seconds.observe(event.seconds)
         self._updates.inc(event.n_updates)
         self._eval_seconds.inc(event.eval_seconds)
-        reg.series("repro.train.lr").append(event.epoch, event.lr)
+        reg.series(M.TRAIN_LR).append(event.epoch, event.lr)
         if event.train_rmse is not None:
-            reg.series("repro.train.rmse", {"split": "train"}).append(
+            reg.series(M.TRAIN_RMSE, {"split": "train"}).append(
                 event.epoch, event.train_rmse
             )
         if event.test_rmse is not None:
-            reg.series("repro.train.rmse", {"split": "test"}).append(
+            reg.series(M.TRAIN_RMSE, {"split": "test"}).append(
                 event.epoch, event.test_rmse
             )
         ups = event.updates_per_sec
         if ups > 0:
-            reg.gauge("repro.train.updates_per_sec").set(ups)
-            reg.series("repro.train.updates_per_sec.by_epoch").append(
+            reg.gauge(M.TRAIN_UPDATES_PER_SEC).set(ups)
+            reg.series(M.TRAIN_UPDATES_PER_SEC_BY_EPOCH).append(
                 event.epoch, ups
             )
             if event.k:
-                reg.gauge("repro.train.effective_bandwidth_gbs").set(
+                reg.gauge(M.TRAIN_EFFECTIVE_BANDWIDTH_GBS).set(
                     effective_bandwidth(ups, event.k, event.feature_bytes) / 1e9
                 )
         for key, value in event.extra.items():
             if isinstance(value, (int, float)):
                 reg.series(f"repro.train.extra.{key}").append(event.epoch, value)
         if "conflict_rate" in event.extra:
-            reg.series("repro.sched.conflict.rate").append(
+            reg.series(M.SCHED_CONFLICT_RATE).append(
                 event.epoch, event.extra["conflict_rate"]
             )
         if "lock_attempts" in event.extra:
@@ -178,7 +178,7 @@ class TelemetryCollector:
                 cat="eval",
             )
         self.tracer.counter(
-            "repro.train.updates", {"updates": self._updates.value}, end,
+            M.TRAIN_UPDATES, {"updates": self._updates.value}, end,
             pid=WALL_PID,
         )
 
@@ -188,7 +188,7 @@ class TelemetryCollector:
             self._lock_waits.inc(event.waits)
         if event.scheme:
             self.registry.counter(
-                "repro.sched.batch_updates", {"scheme": event.scheme}
+                M.SCHED_BATCH_UPDATES, {"scheme": event.scheme}
             ).inc(event.n_updates)
 
     def on_kernel(self, event: KernelEvent) -> None:
@@ -210,7 +210,7 @@ class TelemetryCollector:
     def on_transfer(self, event: TransferEvent) -> None:
         (self._h2d if event.direction == "h2d" else self._d2h).inc(event.n_bytes)
         self.registry.counter(
-            "repro.transfer.dispatches", {"device": event.device}
+            M.TRANSFER_DISPATCHES, {"device": event.device}
         ).inc()
 
     # ------------------------------------------------------------------
@@ -223,10 +223,10 @@ class TelemetryCollector:
     @property
     def conflict_rate(self) -> float | None:
         """Mean Eq. 6 collision fraction across observed waves/epochs."""
-        hist = self.registry.get("repro.kernel.wave_collision_fraction")
+        hist = self.registry.get(M.KERNEL_WAVE_COLLISION_FRACTION)
         if hist is not None and hist.total:
             return hist.mean
-        series = self.registry.get("repro.sched.conflict.rate")
+        series = self.registry.get(M.SCHED_CONFLICT_RATE)
         if series is not None and len(series):
             return sum(series.values) / len(series)
         return None
@@ -235,8 +235,8 @@ class TelemetryCollector:
         """Headline metrics for CLI output and artifact sidecars."""
         out: dict[str, object] = {}
         for key, name in (
-            ("updates_per_sec", "repro.train.updates_per_sec"),
-            ("effective_bandwidth_gbs", "repro.train.effective_bandwidth_gbs"),
+            ("updates_per_sec", M.TRAIN_UPDATES_PER_SEC),
+            ("effective_bandwidth_gbs", M.TRAIN_EFFECTIVE_BANDWIDTH_GBS),
         ):
             value = self._scalar(name)
             if value is not None:
@@ -247,12 +247,12 @@ class TelemetryCollector:
         out["lock_waits"] = self._lock_waits.value
         out["lock_attempts"] = self._lock_attempts.value
         out["transfer_bytes"] = self._h2d.value + self._d2h.value
-        overlap = self.registry.family("repro.sim.stream.overlap_fraction")
+        overlap = self.registry.family(M.SIM_STREAM_OVERLAP_FRACTION)
         if overlap:
             out["stream_overlap_fraction"] = {
                 dict(g.labels).get("device", "0"): g.value for g in overlap
             }
-        modelled = self.registry.family("repro.perf.updates_per_sec")
+        modelled = self.registry.family(M.PERF_UPDATES_PER_SEC)
         if modelled:
             out["modelled_updates_per_sec"] = {
                 "/".join(v for _, v in g.labels): g.value for g in modelled

@@ -33,6 +33,10 @@ __all__ = [
     "Series",
     "MetricsRegistry",
     "Labels",
+    "M",
+    "METRIC_MANIFEST",
+    "DYNAMIC_METRIC_PREFIXES",
+    "manifest_allows",
 ]
 
 #: Canonical label representation: a sorted tuple of (key, value) pairs.
@@ -355,3 +359,78 @@ class MetricsRegistry:
     @classmethod
     def from_json(cls, text: str) -> "MetricsRegistry":
         return cls.from_dict(json.loads(text))
+
+
+# ---------------------------------------------------------------------------
+# Metric-name manifest: the single source of truth for every ``repro.*``
+# name the system emits. Call sites import :class:`M` instead of repeating
+# string literals; the ``metric-name`` lint pass (``repro lint``) checks any
+# remaining literal at a registry/tracer call site against this manifest, so
+# a typo'd name fails lint instead of silently forking a counter.
+# ---------------------------------------------------------------------------
+class M:
+    """Canonical ``repro.*`` metric names (see ``docs/OBSERVABILITY.md``)."""
+
+    # training loop
+    TRAIN_EPOCH_SECONDS = "repro.train.epoch_seconds"
+    TRAIN_UPDATES = "repro.train.updates"
+    TRAIN_EVAL_SECONDS = "repro.train.eval_seconds"
+    TRAIN_LR = "repro.train.lr"
+    TRAIN_RMSE = "repro.train.rmse"
+    TRAIN_UPDATES_PER_SEC = "repro.train.updates_per_sec"
+    TRAIN_UPDATES_PER_SEC_BY_EPOCH = "repro.train.updates_per_sec.by_epoch"
+    TRAIN_EFFECTIVE_BANDWIDTH_GBS = "repro.train.effective_bandwidth_gbs"
+    # kernel launches
+    KERNEL_WAVES = "repro.kernel.waves"
+    KERNEL_UPDATES = "repro.kernel.updates"
+    KERNEL_WAVE_COLLISION_FRACTION = "repro.kernel.wave_collision_fraction"
+    # schedulers and locks
+    SCHED_LOCK_ATTEMPTS = "repro.sched.lock.attempts"
+    SCHED_LOCK_WAITS = "repro.sched.lock.waits"
+    SCHED_LOCK_ABORTS = "repro.sched.lock.aborts"
+    SCHED_ROUNDS = "repro.sched.rounds"
+    SCHED_BATCHES = "repro.sched.batches"
+    SCHED_BATCH_UPDATES = "repro.sched.batch_updates"
+    SCHED_CONFLICT_RATE = "repro.sched.conflict.rate"
+    # modelled transfers and throughput
+    TRANSFER_H2D_BYTES = "repro.transfer.h2d_bytes"
+    TRANSFER_D2H_BYTES = "repro.transfer.d2h_bytes"
+    TRANSFER_DISPATCHES = "repro.transfer.dispatches"
+    PERF_UPDATES_PER_SEC = "repro.perf.updates_per_sec"
+    PERF_EFFECTIVE_BANDWIDTH_GBS = "repro.perf.effective_bandwidth_gbs"
+    # GPU simulator
+    SIM_OCCUPANCY_FRACTION = "repro.sim.occupancy.fraction"
+    SIM_STREAM_OVERLAP_FRACTION = "repro.sim.stream.overlap_fraction"
+    SIM_STREAM_EXPOSED_TRANSFER_SECONDS = "repro.sim.stream.exposed_transfer_seconds"
+    SIM_SCHED_WAIT_SECONDS = "repro.sim.sched.wait_seconds"
+    SIM_SCHED_UTILIZATION = "repro.sim.sched.utilization"
+    # experiment harness
+    EXP_ELAPSED_SECONDS = "repro.exp.elapsed_seconds"
+    # resilience subsystem
+    RESILIENCE_DEVICE_LOST = "repro.resilience.device_lost"
+    RESILIENCE_BLOCKS_REBALANCED = "repro.resilience.blocks_rebalanced"
+    RESILIENCE_RETRIED_BYTES = "repro.resilience.retried_bytes"
+    RESILIENCE_LR_SCALE = "repro.resilience.lr_scale"
+    RESILIENCE_DEMO_UPDATES = "repro.resilience.demo.updates"
+    RESILIENCE_DEMO_BLOCKS = "repro.resilience.demo.blocks"
+    RESILIENCE_DEMO_ROUNDS = "repro.resilience.demo.rounds"
+
+
+#: every declared metric name, for membership checks
+METRIC_MANIFEST: frozenset[str] = frozenset(
+    value
+    for key, value in vars(M).items()
+    if not key.startswith("_") and isinstance(value, str)
+)
+
+#: prefixes under which names are minted dynamically (event-keyed counters,
+#: per-extra training series); anything else must be declared on :class:`M`
+DYNAMIC_METRIC_PREFIXES: tuple[str, ...] = (
+    "repro.train.extra.",
+    "repro.resilience.",
+)
+
+
+def manifest_allows(name: str) -> bool:
+    """True when ``name`` is declared or lives under a dynamic prefix."""
+    return name in METRIC_MANIFEST or name.startswith(DYNAMIC_METRIC_PREFIXES)

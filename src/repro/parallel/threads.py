@@ -27,6 +27,12 @@ from repro.metrics.rmse import rmse
 
 __all__ = ["ThreadedHogwild"]
 
+#: Shared names worker threads may legitimately mutate, audited by the
+#: ``race-shared-write`` lint pass. ``counts`` is write-disjoint (one slot per
+#: thread id) and ``errors`` relies on list.append being atomic under the GIL.
+#: P and Q races are the whole point of Hogwild! and happen inside the kernel.
+SHARED_WRITE_OK = ("counts", "errors")
+
 
 class ThreadedHogwild:
     """Hogwild! SGD executor over ``n_threads`` OS threads.

@@ -30,6 +30,13 @@ from repro.sched.column_lock import ColumnLockArray
 
 __all__ = ["ThreadedWavefront"]
 
+#: Shared names worker threads may legitimately mutate, audited by the
+#: ``race-shared-write`` lint pass. ``counts`` is write-disjoint (one slot per
+#: worker id), ``errors`` relies on list.append being atomic under the GIL,
+#: and ``locks`` is the ColumnLockArray whose CAS discipline *is* the
+#: synchronization protocol (Fig. 6).
+SHARED_WRITE_OK = ("counts", "errors", "locks")
+
 
 class ThreadedWavefront:
     """Wavefront-update executor with one OS thread per grid row."""

@@ -39,6 +39,7 @@ from repro.core.trainer import CuMFSGD, TrainHistory
 from repro.data.container import RatingMatrix
 from repro.metrics.rmse import rmse
 from repro.obs.context import active_registry
+from repro.obs.registry import M
 from repro.obs.hooks import EpochEvent, TrainerHooks, resolve_hooks
 from repro.resilience.faults import TrainingDivergedError
 
@@ -263,7 +264,7 @@ class ResilientTrainer:
                 )
                 registry = active_registry()
                 if registry is not None:
-                    registry.gauge("repro.resilience.lr_scale").set(self.lr_scale)
+                    registry.gauge(M.RESILIENCE_LR_SCALE).set(self.lr_scale)
                 continue
             if metric is not None:
                 guard.append(float(metric))

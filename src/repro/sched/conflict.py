@@ -94,7 +94,7 @@ def expected_collision_fraction(s: int, m: int, n: int) -> float:
         return 0.0
     if m <= 0 or n <= 0:
         raise ValueError("m and n must be positive")
-    i = np.arange(s, dtype=np.float64)
+    i = np.arange(s, dtype=np.float64)  # lint: fp64-accumulator -- closed-form probability, not on the kernel path
     fresh = ((m - 1) / m) ** i * ((n - 1) / n) ** i
     return float(1.0 - fresh.mean())
 

@@ -1,0 +1,17 @@
+"""Fixture: fp64 leakage, both src-wide markers and hot-only hazards."""
+
+import numpy as np
+
+from repro.lint.hotpaths import hot_path
+
+
+def accumulate(xs):
+    total = np.zeros(len(xs), dtype=np.float64)
+    return total + np.asarray(xs).astype(np.float64)
+
+
+@hot_path
+def hot_sum(out, vals):
+    tmp = np.empty(len(vals))  # bare constructor defaults to fp64
+    out += vals * 0.5  # Python float literal promotes
+    np.add(tmp, out, out)

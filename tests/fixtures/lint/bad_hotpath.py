@@ -1,0 +1,14 @@
+"""Fixture: a hot function that allocates every call — reprolint must flag it."""
+
+import numpy as np
+
+from repro.lint.hotpaths import hot_path
+
+
+@hot_path(index_params=("rows",))
+def wave_update(p, q, rows, vals):
+    pu = p[rows]  # fancy-index gather copies
+    err = vals.astype(np.float32) - np.einsum("ij,ij->i", pu, pu)
+    buf = np.zeros(len(rows), dtype=np.float32)
+    buf += err
+    return buf

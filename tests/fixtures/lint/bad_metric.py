@@ -1,0 +1,6 @@
+"""Fixture: metric names outside the repro.* manifest."""
+
+
+def emit(registry, name):
+    registry.counter("repro.train.updatez").inc()  # typo'd manifest name
+    registry.gauge(f"repro.custom.{name}").set(1.0)  # undeclared dynamic prefix

@@ -1,0 +1,21 @@
+"""Fixture: worker threads mutating shared state with no declared discipline."""
+
+import threading
+
+totals = {}
+
+
+def run(n):
+    results = []
+
+    def work(tid):
+        global totals
+        totals[tid] = tid  # undeclared shared write
+        results.append(tid)  # undeclared mutating call
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return results

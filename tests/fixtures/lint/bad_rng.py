@@ -1,0 +1,8 @@
+"""Fixture: legacy module-level numpy RNG — hidden global state."""
+
+import numpy as np
+
+
+def sample(n):
+    np.random.seed(0)
+    return np.random.rand(n)

@@ -1,0 +1,9 @@
+"""Fixture: fp32 discipline plus a properly tagged fp64 accumulator."""
+
+import numpy as np
+
+
+def accumulate(xs):
+    total = np.zeros(len(xs), dtype=np.float32)
+    bias = np.asarray(xs, dtype=np.float64)  # lint: fp64-accumulator -- intentional double-precision sum
+    return total, bias

@@ -1,0 +1,15 @@
+"""Fixture: an allocation-free hot function in the PR-3 style — lints clean."""
+
+import numpy as np
+
+from repro.lint.hotpaths import hot_path
+
+
+@hot_path(index_params=("rows", "cols"))
+def wave_update(p, q, rows, cols, vals, scratch):
+    p.take(rows, 0, scratch.pu)
+    q.take(cols, 0, scratch.qv)
+    np.einsum("ij,ij->i", scratch.pu, scratch.qv, out=scratch.err)
+    np.subtract(vals, scratch.err, scratch.err)
+    p[rows] = scratch.pu  # in-place scatter store stays legal
+    return scratch.err

@@ -1,0 +1,9 @@
+"""Fixture: manifest constants, literal manifest names, declared dynamic prefix."""
+
+from repro.obs.registry import M
+
+
+def emit(registry, key):
+    registry.counter(M.TRAIN_UPDATES).inc()
+    registry.series("repro.train.rmse", {"split": "test"})
+    registry.series(f"repro.train.extra.{key}")

@@ -1,0 +1,23 @@
+"""Fixture: worker threads respecting a declared SHARED_WRITE_OK discipline."""
+
+import threading
+
+SHARED_WRITE_OK = ("counts", "errors")
+
+
+def run(n):
+    counts = [0] * n
+    errors = []
+
+    def work(tid):
+        try:
+            counts[tid] += 1
+        except Exception as exc:  # noqa: BLE001 - fixture
+            errors.append(exc)
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return counts
