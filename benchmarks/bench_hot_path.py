@@ -21,9 +21,10 @@ Run::
 
     PYTHONPATH=src python benchmarks/bench_hot_path.py [--quick] [--out PATH]
 
-Emits a ``BENCH_hot_path.json`` trajectory point (default under
-``results/``) whose schema is pinned by :func:`validate_result` and smoked
-by ``tests/test_perf_smoke.py`` (marker: ``perf``).
+Emits a ``BENCH_hot_path.json`` trajectory point (default at the repo
+root, the canonical location CI archives) whose schema is pinned by
+:func:`validate_result` and smoked by ``tests/test_perf_smoke.py``
+(marker: ``perf``).
 """
 
 from __future__ import annotations
@@ -41,7 +42,7 @@ from repro.core.model import FactorModel
 from repro.data.synthetic import DatasetSpec, make_synthetic
 
 SCHEMA_VERSION = 1
-DEFAULT_OUT = Path(__file__).resolve().parent.parent / "results" / "BENCH_hot_path.json"
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_hot_path.json"
 
 #: The acceptance configuration: nnz >= 1e6, k = 32, s = 128 workers.
 REFERENCE_CONFIG = {

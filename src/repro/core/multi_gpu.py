@@ -119,6 +119,7 @@ class MultiDeviceSGD:
         self.ledger = TransferLedger()
         self._injector = None
         self._retry = None
+        self._store = None
         #: per-coordinator kernel scratch (devices run their blocks serially
         #: here, so one workspace serves them all)
         self.workspace = WaveWorkspace()
@@ -146,6 +147,31 @@ class MultiDeviceSGD:
     def injector(self):
         """The attached :class:`FaultInjector`, or None when fault-free."""
         return self._injector
+
+    # ------------------------------------------------------------------
+    def attach_store(self, store) -> "MultiDeviceSGD":
+        """Stage blocks from a persisted :class:`~repro.data.blockstore.BlockStore`.
+
+        Out-of-core mode: subsequent epochs read each block's samples from
+        the store's memory-mapped shards instead of slicing an in-memory
+        :class:`RatingMatrix` — the host-side analogue of §6.1's "R blocks
+        live on the host, stage one block per dispatch". The store's grid
+        must match this coordinator's ``i x j`` partition. Byte accounting
+        is unchanged: the ledger charges the same COO + feature traffic per
+        dispatch, since the staged bytes are the same either way.
+        """
+        if (store.i, store.j) != (self.i, self.j):
+            raise ValueError(
+                f"store grid {store.i}x{store.j} does not match the "
+                f"coordinator's {self.i}x{self.j} partition"
+            )
+        self._store = store
+        return self
+
+    @property
+    def store(self):
+        """The attached :class:`BlockStore`, or None when in-memory."""
+        return self._store
 
     # ------------------------------------------------------------------
     def partition_for(self, ratings: RatingMatrix) -> GridPartition:
@@ -195,17 +221,47 @@ class MultiDeviceSGD:
             )
         return len(idx)
 
+    def _device_pass_records(
+        self,
+        model: FactorModel,
+        rec: np.ndarray,
+        lr: float,
+        lam_p: float,
+        lam_q: float,
+    ) -> int:
+        """Single-device pass over one staged block's COO records.
+
+        Same update schedule as :meth:`_device_pass` (one permutation draw,
+        waves of ``workers``), sourced from a store shard's packed records
+        instead of in-memory sample indices.
+        """
+        n = len(rec)
+        if not n:
+            return 0
+        idx = self._rng.permutation(n)
+        rows, cols, vals = rec["u"], rec["v"], rec["r"]
+        for lo in range(0, n, self.workers):
+            wave = idx[lo : lo + self.workers]
+            sgd_wave_update(
+                model.p, model.q, rows[wave], cols[wave], vals[wave],
+                lr, lam_p, lam_q, workspace=self.workspace,
+            )
+        return n
+
     # ------------------------------------------------------------------
     def run_epoch(
         self,
         model: FactorModel,
-        ratings: RatingMatrix,
+        ratings: RatingMatrix | None,
         lr: float,
         lam_p: float,
         lam_q: float | None = None,
         hooks: TrainerHooks | None = None,
     ) -> int:
         """One epoch: every block of the grid is updated exactly once.
+
+        With a store attached (:meth:`attach_store`) ``ratings`` may be
+        ``None``: block samples stream from the store's mmap shards.
 
         ``hooks`` receives ``on_transfer`` events for every staged block's
         modelled H2D/D2H bytes (the :class:`TransferLedger` traffic) and one
@@ -222,9 +278,13 @@ class MultiDeviceSGD:
         lam_q = lam_p if lam_q is None else lam_q
         hooks = resolve_hooks(hooks)
         observe = hooks.active
-        part = self.partition_for(ratings)
+        store = self._store
+        if store is None:
+            if ratings is None:
+                raise ValueError("ratings is required without an attached store")
+            part = self.partition_for(ratings)
         feature_bytes = 2 if model.half_precision else 4
-        pending = {(bi, bj) for bi in range(part.i) for bj in range(part.j)}
+        pending = {(bi, bj) for bi in range(self.i) for bj in range(self.j)}
         updates = 0
         injector = self._injector
         alive = (
@@ -253,14 +313,22 @@ class MultiDeviceSGD:
                     # other unfinished block, rebalances across survivors
                     injector.emit("blocks_rebalanced", len(pending))
                     continue
-                view = part.block(bi, bj)
+                view = (
+                    store.view(bi, bj) if store is not None
+                    else part.block(bi, bj)
+                )
                 if injector is not None:
                     self._stage_with_retry(injector, device, view, model.k,
                                            feature_bytes)
                 self.ledger.charge_dispatch(view, model.k, feature_bytes)
-                n = self._device_pass(
-                    model, ratings, view.sample_index, lr, lam_p, lam_q
-                )
+                if store is not None:
+                    n = self._device_pass_records(
+                        model, store.load(bi, bj), lr, lam_p, lam_q
+                    )
+                else:
+                    n = self._device_pass(
+                        model, ratings, view.sample_index, lr, lam_p, lam_q
+                    )
                 updates += n
                 pending.discard((bi, bj))
                 if injector is not None:

@@ -8,6 +8,7 @@ and :data:`repro.data.synthetic.PAPER_DATASETS` retains the paper-scale shape
 parameters for the performance model.
 """
 
+from repro.data.blockstore import BlockPrefetcher, BlockStore
 from repro.data.container import RatingMatrix
 from repro.data.io import load_coo, save_coo
 from repro.data.preprocess import (
@@ -31,6 +32,8 @@ from repro.data.synthetic import (
 
 __all__ = [
     "RatingMatrix",
+    "BlockStore",
+    "BlockPrefetcher",
     "load_coo",
     "save_coo",
     "ScaleNormalizer",

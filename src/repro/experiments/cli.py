@@ -6,6 +6,8 @@ Subcommands::
     cumf-sgd run fig9 [--full] [--csv F]  # reproduce one table/figure
     cumf-sgd all [--full] [--outdir D]    # reproduce everything
     cumf-sgd train netflix-syn --epochs 20 --scheme wavefront
+    cumf-sgd train netflix-syn --executor procs --procs 4   # shared-memory Hogwild
+    cumf-sgd train netflix-syn --executor procs --out-of-core
     cumf-sgd plan hugewiki --gpu pascal --devices 2
     cumf-sgd throughput --gpu maxwell --workers 768
     cumf-sgd trace fig07 --out results/fig07_trace.json       # Chrome trace
@@ -97,6 +99,17 @@ def _build_parser() -> argparse.ArgumentParser:
     train_p.add_argument("dataset", help="scaled data set name (e.g. netflix-syn)")
     train_p.add_argument("--scheme", default="batch_hogwild",
                          choices=("batch_hogwild", "wavefront", "multi_device"))
+    train_p.add_argument("--executor", default="serial",
+                         choices=("serial", "threads", "procs"),
+                         help="serial: deterministic simulated executor "
+                         "(--scheme applies); threads: ThreadedHogwild; "
+                         "procs: shared-memory ProcessHogwild")
+    train_p.add_argument("--procs", type=int, default=4,
+                         help="worker threads/processes for "
+                         "--executor threads|procs")
+    train_p.add_argument("--out-of-core", action="store_true",
+                         help="stage ratings from a temporary on-disk "
+                         "BlockStore (requires --executor procs)")
     train_p.add_argument("--epochs", type=int, default=20)
     train_p.add_argument("--workers", type=int, default=64)
     train_p.add_argument("--k", type=int, default=None)
@@ -209,6 +222,11 @@ def _cmd_train(args) -> int:
         return 2
     spec = SCALED_DATASETS[args.dataset]
     problem = make_synthetic(spec, seed=args.seed)
+    if args.executor != "serial":
+        return _train_parallel(args, spec, problem)
+    if args.out_of_core:
+        print("--out-of-core requires --executor procs", file=sys.stderr)
+        return 2
     est = CuMFSGD(
         k=args.k or spec.k,
         scheme=args.scheme,
@@ -259,6 +277,81 @@ def _cmd_train(args) -> int:
         from_path = save_model(args.save, est.model, epoch=len(history.epochs),
                                metadata={"dataset": args.dataset})
         print(f"checkpoint written to {from_path}")
+    return 0
+
+
+def _train_parallel(args, spec, problem) -> int:
+    """``train --executor threads|procs``: the real-parallelism executors."""
+    from repro.core.checkpoint import save_model
+    from repro.core.lr_schedule import NomadSchedule
+    from repro.metrics.throughput import ThroughputRecord
+
+    if args.fault_plan:
+        print("--fault-plan is only supported with --executor serial",
+              file=sys.stderr)
+        return 2
+    if args.out_of_core and args.executor != "procs":
+        print("--out-of-core requires --executor procs", file=sys.stderr)
+        return 2
+    if args.half:
+        print("note: --half is ignored by the parallel executors "
+              "(fp32 shared buffers)", file=sys.stderr)
+    k = args.k or spec.k
+    lam = args.lam if args.lam is not None else spec.lam
+    schedule = NomadSchedule(alpha=spec.alpha, beta=spec.beta)
+    start = time.perf_counter()
+    if args.executor == "threads":
+        from repro.parallel.threads import ThreadedHogwild
+
+        est = ThreadedHogwild(k=k, n_threads=args.procs, lam=lam,
+                              schedule=schedule, seed=args.seed)
+        history = est.fit(problem.train, epochs=args.epochs, test=problem.test)
+        per_worker = est.thread_updates
+    else:
+        import tempfile
+
+        from repro.data.blockstore import BlockStore
+        from repro.parallel.procs import ProcessHogwild
+
+        tmp = tempfile.TemporaryDirectory() if args.out_of_core else None
+        try:
+            store = None
+            if tmp is not None:
+                grid = max(2, args.procs)
+                store = BlockStore.create(problem.train, grid, grid, tmp.name,
+                                          seed=args.seed)
+                print(f"blockstore: {grid}x{grid} grid, "
+                      f"{store.max_block_nnz} max nnz/block -> {tmp.name}")
+            est = ProcessHogwild(k=k, n_procs=args.procs, lam=lam,
+                                 schedule=schedule, seed=args.seed,
+                                 workers=args.workers, store=store)
+            history = est.fit(problem.train, epochs=args.epochs,
+                              test=problem.test)
+        finally:
+            if tmp is not None:
+                tmp.cleanup()
+        per_worker = est.worker_updates
+        if est.stage_stats is not None:
+            s = est.stage_stats
+            print(f"staging: {s.blocks_loaded} blocks, "
+                  f"{s.bytes_loaded / 1e6:.1f} MB loaded in "
+                  f"{s.load_seconds:.2f}s (stall {s.wait_seconds:.2f}s)")
+    elapsed = time.perf_counter() - start
+    record = ThroughputRecord.from_history(
+        history, problem.train.nnz, elapsed_seconds=elapsed,
+        solver=f"hogwild/{args.executor}", dataset=args.dataset,
+        workers=args.procs, k=k,
+    )
+    print(f"\nfinal test RMSE {history.final_test_rmse:.4f} "
+          f"(noise floor {problem.rmse_floor:.2f}) in {elapsed:.1f}s "
+          f"({record.musec:.1f} M updates/s Eq.7) "
+          f"across {args.procs} {args.executor}")
+    print(f"per-worker updates (last epoch): {per_worker}")
+    if args.save:
+        path = save_model(args.save, est.model, epoch=len(history.epochs),
+                          metadata={"dataset": args.dataset,
+                                    "executor": args.executor})
+        print(f"checkpoint written to {path}")
     return 0
 
 

@@ -62,6 +62,13 @@ HOT_FUNCTIONS: dict[str, dict[str, HotSpec]] = {
         "EpochPlan.repermute": _spec(),
         "EpochPlan.wave": _spec(),
     },
+    "repro/parallel/threads.py": {
+        "_replay_shard": _spec("rows", "cols"),
+    },
+    "repro/parallel/procs.py": {
+        "_run_shard": _spec("rows", "cols"),
+        "_run_blocks": _spec(),
+    },
 }
 
 

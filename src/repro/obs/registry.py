@@ -406,6 +406,20 @@ class M:
     SIM_SCHED_UTILIZATION = "repro.sim.sched.utilization"
     # experiment harness
     EXP_ELAPSED_SECONDS = "repro.exp.elapsed_seconds"
+    # shared-memory process executor (ProcessHogwild)
+    PROC_WORKERS = "repro.proc.workers"
+    PROC_WORKER_UPDATES = "repro.proc.worker_updates"
+    PROC_SHM_BYTES = "repro.proc.shm_bytes"
+    PROC_BARRIER_WAIT_SECONDS = "repro.proc.barrier_wait_seconds"
+    PROC_EPOCHS = "repro.proc.epochs"
+    # threaded executor (ThreadedHogwild)
+    THREAD_WORKERS = "repro.thread.workers"
+    THREAD_WORKER_UPDATES = "repro.thread.worker_updates"
+    # out-of-core block staging (BlockStore / BlockPrefetcher)
+    STAGE_BLOCKS_LOADED = "repro.stage.blocks_loaded"
+    STAGE_BYTES_LOADED = "repro.stage.bytes_loaded"
+    STAGE_LOAD_SECONDS = "repro.stage.load_seconds"
+    STAGE_PREFETCH_WAIT_SECONDS = "repro.stage.prefetch_wait_seconds"
     # resilience subsystem
     RESILIENCE_DEVICE_LOST = "repro.resilience.device_lost"
     RESILIENCE_BLOCKS_REBALANCED = "repro.resilience.blocks_rebalanced"

@@ -2,12 +2,15 @@
 
 The rest of :mod:`repro.core` *simulates* concurrency deterministically
 (waves with explicit race semantics). This package runs SGD on **actual
-Python threads** racing over shared NumPy arrays — genuine Hogwild!, useful
-to validate that the simulated semantics match reality and as a
-multi-core executor in its own right (NumPy kernels release the GIL).
+concurrency** — OS threads racing over shared NumPy arrays, and OS
+processes racing over :mod:`multiprocessing.shared_memory` segments —
+genuine Hogwild!, useful to validate that the simulated semantics match
+reality and as multi-core executors in their own right (NumPy kernels
+release the GIL; processes sidestep it entirely).
 """
 
+from repro.parallel.procs import ProcessHogwild
 from repro.parallel.threads import ThreadedHogwild
 from repro.parallel.wavefront_threads import ThreadedWavefront
 
-__all__ = ["ThreadedHogwild", "ThreadedWavefront"]
+__all__ = ["ProcessHogwild", "ThreadedHogwild", "ThreadedWavefront"]

@@ -1,0 +1,671 @@
+"""Lock-free Hogwild! on OS processes over shared-memory feature matrices.
+
+:class:`ProcessHogwild` is the real-parallelism counterpart of the simulated
+executors in :mod:`repro.core` and the GIL-bound threads of
+:mod:`repro.parallel.threads`: P and Q live in
+:mod:`multiprocessing.shared_memory` segments, wrapped by
+:meth:`repro.core.model.FactorModel.from_buffers` so every worker process
+attaches zero-copy ndarray views and races on them for real — no locks, lost
+updates allowed, exactly the HOGWILD! [Niu et al., 2011] semantics §5.1
+builds on. Each worker is the process analogue of the paper's GPU worker
+pool: it owns a static shard of the compiled
+:class:`~repro.sched.plan.EpochPlan` (a contiguous run of worker lanes, cut
+by :meth:`EpochPlan.shard`) and executes it wave by wave through its own
+private :class:`~repro.core.kernels.WaveWorkspace`, so the per-process hot
+loop is the same allocation-free compiled-plan path the serial executor
+runs. With ``n_procs=1`` the single shard spans the full plan and execution
+is bit-identical to :class:`repro.core.hogwild.BatchHogwild` (pinned by
+``tests/test_parallel_procs.py``).
+
+Out-of-core mode swaps the in-memory rating shards for a
+:class:`~repro.data.blockstore.BlockStore`: each worker owns a static,
+nnz-balanced set of grid blocks and streams them through a double-buffered
+:class:`~repro.data.blockstore.BlockPrefetcher`, overlapping shard load
+("transfer") with SGD compute the way §6.2's CUDA streams overlap H2D copies
+with kernels.
+
+Seeding: worker randomness derives from ``np.random.SeedSequence(seed)``
+``.spawn(n_procs)`` — every worker gets an independent, collision-free
+stream that is reproducible per (seed, worker id) regardless of ``n_procs``
+or start method. The epoch *schedule* RNG (plan permutation) lives in the
+parent and matches :class:`BatchHogwild` draw for draw.
+
+Synchronization is two barriers per epoch (dispatch and completion); between
+them, nothing synchronizes — that is the point. Per-worker update counts,
+staging stats, and control scalars live in small shared arrays with
+write-disjoint slots (one per worker id).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.core.kernels import UPDATE_ERRSTATE, WaveWorkspace, sgd_serial_update
+from repro.core.lr_schedule import LearningRateSchedule, NomadSchedule
+from repro.core.model import FactorModel
+from repro.core.trainer import TrainHistory
+from repro.data.blockstore import BlockPrefetcher, BlockStore, PrefetchStats
+from repro.data.container import RatingMatrix
+from repro.metrics.rmse import rmse
+from repro.obs.hooks import EpochEvent, TrainerHooks, resolve_hooks
+from repro.sched.plan import EpochPlan
+
+__all__ = ["ProcessHogwild"]
+
+#: Shared names with sanctioned cross-worker writes (the process-level
+#: analogue of the ``race-shared-write`` thread audit): ``counts`` and
+#: ``stage`` are write-disjoint shared arrays (one slot/row per worker id),
+#: ``ctl`` is written by the parent between barriers and only read by
+#: workers (except the error flag, last-writer-wins by design). P and Q
+#: races are the whole point of Hogwild! and happen inside the kernels.
+SHARED_WRITE_OK = ("counts", "ctl", "stage")
+
+#: control-array slots: command word, epoch hyperparameters, error flag
+_CTL_SLOTS = 5
+_CMD, _LR, _LAM_P, _LAM_Q, _ERR = range(_CTL_SLOTS)
+_CMD_RUN, _CMD_EXIT = 0.0, 1.0
+
+#: columns of the per-worker staging-stats array
+_STAGE_FIELDS = 4  # blocks, bytes, load_seconds, wait_seconds
+
+#: parent-side timeout for the completion barrier: generous enough for any
+#: realistic epoch, finite so a crashed worker surfaces as BrokenBarrierError
+#: instead of a hang
+_EPOCH_TIMEOUT_S = 600.0
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without double-registering it.
+
+    Child attaches register with the resource tracker as if they owned the
+    segment (bpo-39959), which triggers spurious unlink-at-exit warnings and
+    can destroy a segment the parent still owns. Python 3.13 grew
+    ``track=False``; older versions need the hook suppressed below.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    # pre-3.13: suppress the tracker's register hook for the duration of the
+    # attach. Unregistering *after* would misfire under fork, where parent
+    # and child share one tracker process — the child's unregister would
+    # erase the parent's (legitimate, unlink-owning) registration.
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class _ShardPlanView:
+    """Duck-typed :class:`EpochPlan` slice for ``WaveWorkspace.bind_plan``.
+
+    Carries exactly the attributes ``bind_plan`` consumes (``matrix``,
+    ``n_waves``, ``width``, ``version``); the matrix is a column view into
+    the shared plan buffer, and the worker bumps ``version`` once per epoch
+    so the workspace re-gathers after the parent's in-place re-permutation.
+    """
+
+    __slots__ = ("matrix", "n_waves", "width", "version")
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        self.matrix = matrix
+        self.n_waves = matrix.shape[0]
+        self.width = matrix.shape[1]
+        self.version = 0
+
+
+def _run_shard(ws, plan_view, p, q, rows, cols, vals, shard_lengths,
+               lr, lam_p, lam_q):
+    """One epoch of one worker's plan shard — the per-process hot loop.
+
+    Identical structure to ``BatchHogwild.run_epoch``: one ``bind_plan``
+    gather, then one allocation-free ``wave_update`` per wave, slicing the
+    shard's live lanes (``shard_lengths``, precomputed — padding only ever
+    shortens a wave from the right). Registered in lint ``HOT_FUNCTIONS``.
+    """
+    rows_w, cols_w, vals_w = ws.bind_plan(plan_view, rows, cols, vals)
+    wave_update = ws.wave_update
+    updates = 0
+    i = 0
+    with np.errstate(**UPDATE_ERRSTATE):
+        for wr, wc, wv in zip(rows_w, cols_w, vals_w):
+            w = shard_lengths[i]
+            i += 1
+            if w == 0:
+                continue
+            wave_update(p, q, wr[:w], wc[:w], wv[:w], lr, lam_p, lam_q)
+            updates += w
+    return updates
+
+
+def _run_blocks(ws, prefetcher, p, q, lr, lam_p, lam_q, max_wave):
+    """One epoch of one worker's block set — the out-of-core hot loop.
+
+    Blocks arrive through the double-buffered prefetcher (next shard loads
+    while this one computes); each block replays through the
+    serial-equivalent kernel with the paper's chunk size as the wave cap.
+    Registered in lint ``HOT_FUNCTIONS``.
+    """
+    updates = 0
+    for _, rec in prefetcher:
+        rows = rec["u"]
+        cols = rec["v"]
+        vals = rec["r"]
+        sgd_serial_update(p, q, rows, cols, vals, lr, lam_p, lam_q,
+                          max_wave=max_wave, workspace=ws)
+        updates += len(rec)
+    return updates
+
+
+@dataclass
+class _WorkerConfig:
+    """Everything a worker needs, picklable for any start method.
+
+    Shared-memory segments travel as names (workers re-attach); barriers
+    travel through multiprocessing's own reduction machinery.
+    """
+
+    wid: int
+    n_procs: int
+    start_barrier: object
+    done_barrier: object
+    # segment names (data segments are None in out-of-core mode)
+    p_name: str = ""
+    q_name: str = ""
+    ctl_name: str = ""
+    counts_name: str = ""
+    stage_name: str = ""
+    rows_name: str | None = None
+    cols_name: str | None = None
+    vals_name: str | None = None
+    plan_name: str | None = None
+    # geometry
+    m: int = 0
+    n: int = 0
+    k: int = 0
+    nnz: int = 0
+    n_waves: int = 0
+    width: int = 0
+    col_lo: int = 0
+    col_hi: int = 0
+    # out-of-core
+    store_root: str | None = None
+    blocks: list = field(default_factory=list)
+    prefetch_depth: int = 2
+    max_wave: int = 256
+    shuffle_each_epoch: bool = True
+    seed_seq: object = None
+
+
+def _worker_main(cfg: _WorkerConfig) -> None:
+    """Worker process entry point: attach, then serve epochs until told to exit."""
+    shms = []
+
+    def attach(name):
+        shm = _attach(name)
+        shms.append(shm)
+        return shm
+
+    try:
+        model = FactorModel.from_buffers(
+            attach(cfg.p_name).buf, attach(cfg.q_name).buf, cfg.m, cfg.n, cfg.k
+        )
+        ctl = np.ndarray((_CTL_SLOTS,), dtype=np.float64,  # lint: fp64-accumulator -- control scalars, not model math
+                         buffer=attach(cfg.ctl_name).buf)
+        counts = np.ndarray((cfg.n_procs,), dtype=np.int64,
+                            buffer=attach(cfg.counts_name).buf)
+        stage = np.ndarray((cfg.n_procs, _STAGE_FIELDS), dtype=np.float64,  # lint: fp64-accumulator -- wall-clock/byte accumulators
+                           buffer=attach(cfg.stage_name).buf)
+        ws = WaveWorkspace()
+        wrng = np.random.default_rng(cfg.seed_seq)
+        out_of_core = cfg.store_root is not None
+        if out_of_core:
+            store = BlockStore.open(cfg.store_root)
+            blocks = [tuple(b) for b in cfg.blocks]
+        else:
+            rows = np.ndarray((cfg.nnz,), dtype=np.int32,
+                              buffer=attach(cfg.rows_name).buf)
+            cols = np.ndarray((cfg.nnz,), dtype=np.int32,
+                              buffer=attach(cfg.cols_name).buf)
+            vals = np.ndarray((cfg.nnz,), dtype=np.float32,
+                              buffer=attach(cfg.vals_name).buf)
+            matrix = np.ndarray((cfg.n_waves, cfg.width), dtype=np.int64,
+                                buffer=attach(cfg.plan_name).buf)
+            lengths = np.ndarray((cfg.n_waves,), dtype=np.int64,
+                                 buffer=attach(cfg.plan_name).buf,
+                                 offset=cfg.n_waves * cfg.width * 8)
+            plan_view = _ShardPlanView(matrix[:, cfg.col_lo:cfg.col_hi])
+            shard_lengths = np.clip(
+                lengths - cfg.col_lo, 0, cfg.col_hi - cfg.col_lo
+            ).tolist()
+        while True:
+            cfg.start_barrier.wait()
+            if ctl[_CMD] == _CMD_EXIT:
+                return
+            lr = np.float32(ctl[_LR])
+            lam_p = np.float32(ctl[_LAM_P])
+            lam_q = np.float32(ctl[_LAM_Q])
+            try:
+                if out_of_core:
+                    order = blocks
+                    if cfg.shuffle_each_epoch and len(blocks) > 1:
+                        perm = wrng.permutation(len(blocks))
+                        order = [blocks[i] for i in perm]
+                    prefetcher = BlockPrefetcher(
+                        store, order, depth=cfg.prefetch_depth
+                    )
+                    n = _run_blocks(ws, prefetcher, model.p, model.q,
+                                    lr, lam_p, lam_q, cfg.max_wave)
+                    s = prefetcher.stats
+                    stage[cfg.wid, 0] += s.blocks_loaded
+                    stage[cfg.wid, 1] += s.bytes_loaded
+                    stage[cfg.wid, 2] += s.load_seconds
+                    stage[cfg.wid, 3] += s.wait_seconds
+                else:
+                    plan_view.version += 1
+                    n = _run_shard(ws, plan_view, model.p, model.q,
+                                   rows, cols, vals, shard_lengths,
+                                   lr, lam_p, lam_q)
+                counts[cfg.wid] = n
+            except BaseException:
+                ctl[_ERR] = float(cfg.wid + 1)
+                import traceback
+
+                traceback.print_exc()
+            cfg.done_barrier.wait()
+    finally:
+        for shm in shms:
+            shm.close()
+
+
+class _SharedCluster:
+    """Owns the shared segments and the persistent worker pool."""
+
+    def __init__(self, n_procs: int, start_method: str | None) -> None:
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else None
+            )
+        self.ctx = mp.get_context(start_method)
+        self.n_procs = n_procs
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._procs: list = []
+        self.shm_bytes = 0
+        self.barrier_wait_seconds = 0.0
+        self.model: FactorModel | None = None
+        self.plan_matrix = None
+        self.ctl = self.counts = self.stage = None
+
+    # ------------------------------------------------------------------
+    def _alloc(self, nbytes: int) -> shared_memory.SharedMemory:
+        shm = shared_memory.SharedMemory(create=True, size=max(int(nbytes), 1))
+        self._segments.append(shm)
+        self.shm_bytes += shm.size
+        return shm
+
+    def _shared_array(self, shape, dtype) -> tuple[np.ndarray, str]:
+        shm = self._alloc(int(np.prod(shape)) * np.dtype(dtype).itemsize)
+        return np.ndarray(shape, dtype=dtype, buffer=shm.buf), shm.name
+
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        model: FactorModel,
+        plan: EpochPlan | None,
+        ratings: RatingMatrix | None,
+        store: BlockStore | None,
+        prefetch_depth: int,
+        max_wave: int,
+        shuffle_each_epoch: bool,
+        seed: int,
+    ) -> FactorModel:
+        """Copy the model (and data, in-memory mode) into shared segments
+        and launch the worker pool. Returns the shared-memory-backed model
+        the parent should use from now on."""
+        m, n, k = model.m, model.n, model.k
+        p_sh, p_name = self._shared_array((m, k), np.float32)
+        q_sh, q_name = self._shared_array((n, k), np.float32)
+        np.copyto(p_sh, model.p)
+        np.copyto(q_sh, model.q)
+        self.model = FactorModel(p=p_sh, q=q_sh)
+        self.ctl, ctl_name = self._shared_array((_CTL_SLOTS,), np.float64)
+        self.ctl[:] = 0.0
+        self.counts, counts_name = self._shared_array((self.n_procs,), np.int64)
+        self.counts[:] = 0
+        self.stage, stage_name = self._shared_array(
+            (self.n_procs, _STAGE_FIELDS), np.float64
+        )
+        self.stage[:] = 0.0
+        self.start_barrier = self.ctx.Barrier(self.n_procs + 1)
+        self.done_barrier = self.ctx.Barrier(self.n_procs + 1)
+
+        base = dict(
+            n_procs=self.n_procs,
+            start_barrier=self.start_barrier,
+            done_barrier=self.done_barrier,
+            p_name=p_name,
+            q_name=q_name,
+            ctl_name=ctl_name,
+            counts_name=counts_name,
+            stage_name=stage_name,
+            m=m,
+            n=n,
+            k=k,
+            prefetch_depth=prefetch_depth,
+            max_wave=max_wave,
+            shuffle_each_epoch=shuffle_each_epoch,
+        )
+        if store is not None:
+            assignment = store.assign(self.n_procs)
+            base.update(store_root=str(store.root))
+        else:
+            rows_sh, rows_name = self._shared_array((ratings.nnz,), np.int32)
+            cols_sh, cols_name = self._shared_array((ratings.nnz,), np.int32)
+            vals_sh, vals_name = self._shared_array((ratings.nnz,), np.float32)
+            np.copyto(rows_sh, ratings.rows)
+            np.copyto(cols_sh, ratings.cols)
+            np.copyto(vals_sh, ratings.vals)
+            # plan segment: the (n_waves, width) matrix followed by lengths
+            plan_shm = self._alloc((plan.n_waves * plan.width + plan.n_waves) * 8)
+            self.plan_matrix = np.ndarray(
+                (plan.n_waves, plan.width), dtype=np.int64, buffer=plan_shm.buf
+            )
+            lengths_sh = np.ndarray(
+                (plan.n_waves,), dtype=np.int64, buffer=plan_shm.buf,
+                offset=plan.n_waves * plan.width * 8,
+            )
+            np.copyto(lengths_sh, plan.lengths)
+            shards = plan.shard(self.n_procs)
+            base.update(
+                rows_name=rows_name,
+                cols_name=cols_name,
+                vals_name=vals_name,
+                plan_name=plan_shm.name,
+                nnz=ratings.nnz,
+                n_waves=plan.n_waves,
+                width=plan.width,
+            )
+        worker_seeds = np.random.SeedSequence(seed).spawn(self.n_procs)
+        for wid in range(self.n_procs):
+            cfg = _WorkerConfig(wid=wid, seed_seq=worker_seeds[wid], **base)
+            if store is not None:
+                cfg.blocks = assignment[wid]
+            else:
+                shard = shards[wid]
+                cfg.col_lo, cfg.col_hi = shard.col_lo, shard.col_hi
+            proc = self.ctx.Process(
+                target=_worker_main, args=(cfg,), name=f"hogwild-proc-{wid}",
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+        return self.model
+
+    # ------------------------------------------------------------------
+    def run_epoch(self, plan: EpochPlan | None, lr: float,
+                  lam_p: float, lam_q: float) -> int:
+        """Dispatch one epoch to the pool and wait for completion."""
+        if plan is not None:
+            np.copyto(self.plan_matrix, plan.matrix)
+        self.ctl[_CMD] = _CMD_RUN
+        self.ctl[_LR] = float(lr)
+        self.ctl[_LAM_P] = float(lam_p)
+        self.ctl[_LAM_Q] = float(lam_q)
+        self.ctl[_ERR] = 0.0
+        t0 = time.perf_counter()
+        self.start_barrier.wait(timeout=_EPOCH_TIMEOUT_S)
+        self.barrier_wait_seconds += time.perf_counter() - t0
+        self.done_barrier.wait(timeout=_EPOCH_TIMEOUT_S)
+        if self.ctl[_ERR]:
+            raise RuntimeError(
+                f"worker {int(self.ctl[_ERR]) - 1} failed during the epoch "
+                "(traceback on its stderr)"
+            )
+        return int(self.counts.sum())
+
+    def worker_updates(self) -> list[int]:
+        return [int(c) for c in self.counts]
+
+    def stage_stats(self) -> PrefetchStats:
+        totals = self.stage.sum(axis=0)
+        return PrefetchStats(
+            blocks_loaded=int(totals[0]),
+            bytes_loaded=int(totals[1]),
+            load_seconds=float(totals[2]),
+            wait_seconds=float(totals[3]),
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> FactorModel | None:
+        """Shut the pool down and free every segment.
+
+        Returns a private (heap-backed) copy of the model, made before the
+        shared segments are unlinked — the shared views die with them.
+        """
+        model = None
+        if self._procs:
+            try:
+                if self.ctl is not None:
+                    self.ctl[_CMD] = _CMD_EXIT
+                self.start_barrier.wait(timeout=30.0)
+            except Exception:  # pragma: no cover - pool already dead
+                pass
+            for proc in self._procs:
+                proc.join(timeout=30.0)
+                if proc.is_alive():  # pragma: no cover - defensive
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            self._procs = []
+        if getattr(self, "model", None) is not None:
+            model = self.model.copy()
+            self.model = None
+        self.plan_matrix = None
+        self.ctl = self.counts = self.stage = None
+        for shm in self._segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments = []
+        return model
+
+
+class ProcessHogwild:
+    """Hogwild! SGD executor over ``n_procs`` OS processes.
+
+    Parameters
+    ----------
+    k, lam, schedule, seed, scale_factor:
+        As :class:`repro.core.cumf.CuMFSGD` / :class:`ThreadedHogwild`.
+    n_procs:
+        Worker processes. Each owns ``workers / n_procs`` contiguous lanes
+        of the compiled plan (in-memory mode) or an nnz-balanced set of
+        grid blocks (out-of-core mode).
+    workers, f:
+        The batch-Hogwild! geometry of the *shared* epoch plan (``s`` total
+        concurrent lanes, ``f`` consecutive samples per chunk — paper
+        default 256). The plan and its per-epoch re-permutation match
+        :class:`~repro.core.hogwild.BatchHogwild` draw for draw, so
+        ``n_procs=1`` reproduces the serial compiled-plan path bit for bit.
+    store:
+        A :class:`~repro.data.blockstore.BlockStore` switches the executor
+        to out-of-core mode: ratings stream from disk through per-worker
+        double-buffered prefetchers instead of living in shared memory.
+    prefetch_depth:
+        Staging buffers per worker in out-of-core mode (2 = double
+        buffering, the paper's two-resident-blocks pipeline).
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork`` (cheap
+        worker launch) and falls back to the platform default.
+
+    Non-deterministic for ``n_procs > 1`` (real cross-process races); use
+    the deterministic simulators for reproducibility-sensitive experiments.
+    """
+
+    def __init__(
+        self,
+        k: int = 32,
+        n_procs: int = 4,
+        lam: float = 0.05,
+        schedule: LearningRateSchedule | None = None,
+        seed: int = 0,
+        workers: int = 128,
+        f: int = 256,
+        scale_factor: float = 1.0,
+        shuffle_each_epoch: bool = True,
+        store: BlockStore | None = None,
+        prefetch_depth: int = 2,
+        start_method: str | None = None,
+    ) -> None:
+        if min(k, n_procs, workers, f) <= 0:
+            raise ValueError("k, n_procs, workers, f must be positive")
+        if n_procs > workers and store is None:
+            raise ValueError(
+                f"n_procs={n_procs} exceeds the plan's {workers} worker lanes"
+            )
+        self.k = k
+        self.n_procs = n_procs
+        self.lam = lam
+        self.schedule = schedule or NomadSchedule()
+        self.seed = seed
+        self.workers = workers
+        self.f = f
+        self.scale_factor = scale_factor
+        self.shuffle_each_epoch = shuffle_each_epoch
+        self.store = store
+        self.prefetch_depth = prefetch_depth
+        self.start_method = start_method
+        self.model: FactorModel | None = None
+        self.history: TrainHistory | None = None
+        #: updates each worker performed in the last epoch
+        self.worker_updates: list[int] = []
+        self.stage_stats: PrefetchStats | None = None
+        self.barrier_wait_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        train: RatingMatrix | None,
+        epochs: int = 10,
+        test: RatingMatrix | None = None,
+        target_rmse: float | None = None,
+        hooks: TrainerHooks | None = None,
+    ) -> TrainHistory:
+        """Train for ``epochs`` passes. ``train`` may be ``None`` in
+        out-of-core mode (shape and samples come from the store)."""
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        if self.store is None:
+            if train is None:
+                raise ValueError("train is required without a BlockStore")
+            m, n, nnz = train.n_rows, train.n_cols, train.nnz
+        else:
+            m, n, nnz = self.store.n_rows, self.store.n_cols, self.store.nnz
+            if train is not None and train.shape != self.store.shape:
+                raise ValueError(
+                    f"train shape {train.shape} disagrees with store "
+                    f"shape {self.store.shape}"
+                )
+        if nnz == 0:
+            raise ValueError("cannot train on an empty rating matrix")
+        hooks = resolve_hooks(hooks)
+        rng = np.random.default_rng(self.seed)
+        init = FactorModel.initialize(
+            m, n, self.k, seed=self.seed, scale_factor=self.scale_factor
+        )
+        plan = None
+        if self.store is None:
+            order = rng.permutation(nnz).astype(np.int64)
+            plan = EpochPlan(order, self.workers, self.f)
+        cluster = _SharedCluster(self.n_procs, self.start_method)
+        history = TrainHistory()
+        total_updates = [0] * self.n_procs
+        epochs_run = 0
+        try:
+            model = cluster.start(
+                init, plan, train, self.store, self.prefetch_depth,
+                self.f, self.shuffle_each_epoch, self.seed,
+            )
+            for epoch in range(epochs):
+                if epoch and plan is not None and self.shuffle_each_epoch:
+                    plan.repermute(rng)
+                lr = self.schedule(epoch)
+                t0 = time.perf_counter()
+                n_upd = cluster.run_epoch(plan, lr, self.lam, self.lam)
+                seconds = time.perf_counter() - t0
+                epochs_run += 1
+                self.worker_updates = cluster.worker_updates()
+                for wid, c in enumerate(self.worker_updates):
+                    total_updates[wid] += c
+                t1 = time.perf_counter()
+                te = None
+                if test is not None:
+                    p, q = model.as_float32()
+                    te = rmse(p, q, test)
+                eval_seconds = time.perf_counter() - t1
+                history.record(epoch + 1, lr, n_upd, None, te)
+                if hooks.active:
+                    hooks.on_epoch(
+                        EpochEvent(
+                            epoch=epoch + 1, lr=lr, n_updates=n_upd,
+                            test_rmse=te, seconds=seconds,
+                            eval_seconds=eval_seconds, nnz=nnz, k=self.k,
+                            scheme="process-hogwild",
+                            extra={
+                                "n_procs": self.n_procs,
+                                "worker_updates": list(self.worker_updates),
+                                "out_of_core": self.store is not None,
+                            },
+                        )
+                    )
+                if target_rmse is not None and te is not None and te <= target_rmse:
+                    break
+        finally:
+            self.barrier_wait_seconds = cluster.barrier_wait_seconds
+            if self.store is not None:
+                self.stage_stats = cluster.stage_stats()
+            shm_bytes = cluster.shm_bytes
+            self.model = cluster.close()
+        self.history = history
+        self._publish(total_updates, epochs_run, shm_bytes)
+        return history
+
+    # ------------------------------------------------------------------
+    def _publish(self, total_updates: list[int], epochs_run: int,
+                 shm_bytes: int) -> None:
+        """Accumulate ``repro.proc.*`` (and staging) metrics into the
+        ambient registry; no-op when none is active."""
+        from repro.obs.context import active_registry
+        from repro.obs.registry import M
+
+        registry = active_registry()
+        if registry is None:
+            return
+        registry.gauge(M.PROC_WORKERS).set(self.n_procs)
+        registry.gauge(M.PROC_SHM_BYTES).set(shm_bytes)
+        registry.counter(M.PROC_EPOCHS).inc(epochs_run)
+        registry.counter(M.PROC_BARRIER_WAIT_SECONDS).inc(
+            self.barrier_wait_seconds
+        )
+        for wid, count in enumerate(total_updates):
+            registry.counter(
+                M.PROC_WORKER_UPDATES, {"worker": wid}
+            ).inc(count)
+        if self.stage_stats is not None:
+            self.stage_stats.publish()
+
+    def score(self, ratings: RatingMatrix) -> float:
+        if self.model is None:
+            raise RuntimeError("fit() first")
+        p, q = self.model.as_float32()
+        return rmse(p, q, ratings)

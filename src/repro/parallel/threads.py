@@ -7,31 +7,68 @@ locking whatsoever. Races happen for real: concurrent threads may read
 stale vectors and overwrite each other's rows, which is exactly what the
 paper (and Hogwild! [44]) argue is tolerable while ``s ≪ min(m, n)``.
 
-Within a thread, updates are executed through the serial-equivalent batched
-kernel so the heavy lifting runs inside NumPy (which releases the GIL,
-giving true multi-core execution).
+Hot-path structure (mirroring the serial executor): per epoch each thread
+compiles its shard once into a :class:`~repro.sched.plan.SerialPlan` and
+replays the conflict-free segments through its own private
+:class:`~repro.core.kernels.WaveWorkspace` — allocation-free inside
+:func:`_replay_shard` (registered in lint ``HOT_FUNCTIONS``), with all heavy
+lifting inside NumPy, which releases the GIL for true multi-core execution.
+Segment replay is numerically identical to a per-sample serial pass over
+the shard, so ``intra_batch`` (the segment-length cap) is a pure throughput
+knob: any value yields bit-identical per-thread numerics.
+
+``intra_batch`` defaults to 256 — the paper's ``f`` chunk size, chosen by
+the Eq. 8 locality argument (any ``f ≫ cache_line/sample = 11`` behaves the
+same statistically; 256 amortizes per-wave kernel overhead). Swept in
+``benchmarks/bench_ablations.py``.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 
-from repro.core.kernels import sgd_serial_update
+from repro.core.kernels import UPDATE_ERRSTATE, WaveWorkspace
 from repro.core.lr_schedule import LearningRateSchedule, NomadSchedule
 from repro.core.model import FactorModel
 from repro.core.trainer import TrainHistory
 from repro.data.container import RatingMatrix
 from repro.metrics.rmse import rmse
+from repro.obs.hooks import (
+    EpochEvent,
+    KernelEvent,
+    TrainerHooks,
+    resolve_hooks,
+)
+from repro.sched.plan import SerialPlan
 
 __all__ = ["ThreadedHogwild"]
 
 #: Shared names worker threads may legitimately mutate, audited by the
-#: ``race-shared-write`` lint pass. ``counts`` is write-disjoint (one slot per
-#: thread id) and ``errors`` relies on list.append being atomic under the GIL.
-#: P and Q races are the whole point of Hogwild! and happen inside the kernel.
-SHARED_WRITE_OK = ("counts", "errors")
+#: ``race-shared-write`` lint pass. ``counts`` and ``waves`` are
+#: write-disjoint (one slot per thread id) and ``errors`` relies on
+#: list.append being atomic under the GIL. P and Q races are the whole point
+#: of Hogwild! and happen inside the kernel.
+SHARED_WRITE_OK = ("counts", "waves", "errors")
+
+
+def _replay_shard(ws, p, q, rows, cols, vals, starts, stops, lr, lam_p, lam_q):
+    """Replay one thread's compiled shard — the per-thread hot loop.
+
+    ``starts``/``stops`` are the shard's :class:`SerialPlan` segments as
+    plain lists; every kernel launch runs through the thread-private
+    workspace, so the loop allocates nothing after the first wave.
+    Registered in lint ``HOT_FUNCTIONS``.
+    """
+    wave_update = ws.wave_update
+    with np.errstate(**UPDATE_ERRSTATE):
+        for start, stop in zip(starts, stops):
+            wave_update(
+                p, q, rows[start:stop], cols[start:stop], vals[start:stop],
+                lr, lam_p, lam_q,
+            )
 
 
 class ThreadedHogwild:
@@ -39,6 +76,11 @@ class ThreadedHogwild:
 
     Non-deterministic by nature (real races); use the deterministic
     simulators for reproducibility-sensitive experiments.
+
+    ``hooks`` (on :meth:`fit`) receives one ``on_epoch`` event per epoch and
+    one ``on_kernel`` event per thread shard; per-thread update totals
+    accumulate into the ambient metrics registry under
+    ``repro.thread.worker_updates``.
     """
 
     def __init__(
@@ -48,7 +90,7 @@ class ThreadedHogwild:
         lam: float = 0.05,
         schedule: LearningRateSchedule | None = None,
         seed: int = 0,
-        intra_batch: int = 64,
+        intra_batch: int = 256,
         scale_factor: float = 1.0,
     ) -> None:
         if k <= 0 or n_threads <= 0 or intra_batch <= 0:
@@ -64,6 +106,7 @@ class ThreadedHogwild:
         self.history: TrainHistory | None = None
         #: number of updates each thread performed in the last epoch
         self.thread_updates: list[int] = []
+        self._workspaces: list[WaveWorkspace] = []
 
     # ------------------------------------------------------------------
     def _epoch(
@@ -72,21 +115,30 @@ class ThreadedHogwild:
         train: RatingMatrix,
         order: np.ndarray,
         lr: float,
+        hooks: TrainerHooks,
     ) -> int:
         shards = np.array_split(order, self.n_threads)
         counts = [0] * self.n_threads
+        waves = [0] * self.n_threads
         errors: list[BaseException] = []
+        lr32 = np.float32(lr)
+        lam32 = np.float32(self.lam)
 
         def work(tid: int, idx: np.ndarray) -> None:
             try:
-                rows, cols, vals = train.rows, train.cols, train.vals
-                for lo in range(0, len(idx), self.intra_batch):
-                    sel = idx[lo : lo + self.intra_batch]
-                    sgd_serial_update(
-                        model.p, model.q, rows[sel], cols[sel], vals[sel],
-                        lr, self.lam,
-                    )
-                    counts[tid] += len(sel)
+                # shard gather + plan compile happen once per epoch (cold);
+                # the replay itself is the registered hot loop
+                rows = train.rows[idx]
+                cols = train.cols[idx]
+                vals = train.vals[idx]
+                plan = SerialPlan.compile(rows, cols, self.intra_batch)
+                _replay_shard(
+                    self._workspaces[tid], model.p, model.q, rows, cols, vals,
+                    plan.starts.tolist(), plan.stops.tolist(),
+                    lr32, lam32, lam32,
+                )
+                counts[tid] = plan.n_samples
+                waves[tid] = plan.n_waves
             except BaseException as exc:  # pragma: no cover - defensive
                 errors.append(exc)
 
@@ -100,6 +152,14 @@ class ThreadedHogwild:
             t.join()
         if errors:  # pragma: no cover - defensive
             raise errors[0]
+        if hooks.active:
+            for tid in range(self.n_threads):
+                hooks.on_kernel(
+                    KernelEvent(
+                        name="threads.shard", n_updates=counts[tid],
+                        n_waves=waves[tid],
+                    )
+                )
         self.thread_updates = counts
         return sum(counts)
 
@@ -110,26 +170,64 @@ class ThreadedHogwild:
         epochs: int = 10,
         test: RatingMatrix | None = None,
         target_rmse: float | None = None,
+        hooks: TrainerHooks | None = None,
     ) -> TrainHistory:
         if epochs <= 0:
             raise ValueError(f"epochs must be positive, got {epochs}")
+        hooks = resolve_hooks(hooks)
         rng = np.random.default_rng(self.seed)
         self.model = FactorModel.initialize(
             train.n_rows, train.n_cols, self.k, seed=self.seed, scale_factor=self.scale_factor
         )
+        if len(self._workspaces) != self.n_threads:
+            self._workspaces = [WaveWorkspace() for _ in range(self.n_threads)]
         order = rng.permutation(train.nnz)
         history = TrainHistory()
+        total_updates = [0] * self.n_threads
         for epoch in range(epochs):
             rng.shuffle(order)
             lr = self.schedule(epoch)
-            n = self._epoch(self.model, train, order, lr)
+            t0 = time.perf_counter()
+            n = self._epoch(self.model, train, order, lr, hooks)
+            seconds = time.perf_counter() - t0
+            for tid, c in enumerate(self.thread_updates):
+                total_updates[tid] += c
+            t1 = time.perf_counter()
             p, q = self.model.as_float32()
             te = rmse(p, q, test) if test is not None else None
+            eval_seconds = time.perf_counter() - t1
             history.record(epoch + 1, lr, n, None, te)
+            if hooks.active:
+                hooks.on_epoch(
+                    EpochEvent(
+                        epoch=epoch + 1, lr=lr, n_updates=n, test_rmse=te,
+                        seconds=seconds, eval_seconds=eval_seconds,
+                        nnz=train.nnz, k=self.k, scheme="threaded-hogwild",
+                        extra={
+                            "n_threads": self.n_threads,
+                            "thread_updates": list(self.thread_updates),
+                        },
+                    )
+                )
             if target_rmse is not None and te is not None and te <= target_rmse:
                 break
         self.history = history
+        self._publish(total_updates)
         return history
+
+    def _publish(self, total_updates: list[int]) -> None:
+        """Accumulate ``repro.thread.*`` metrics into the ambient registry."""
+        from repro.obs.context import active_registry
+        from repro.obs.registry import M
+
+        registry = active_registry()
+        if registry is None:
+            return
+        registry.gauge(M.THREAD_WORKERS).set(self.n_threads)
+        for tid, count in enumerate(total_updates):
+            registry.counter(
+                M.THREAD_WORKER_UPDATES, {"thread": tid}
+            ).inc(count)
 
     def score(self, ratings: RatingMatrix) -> float:
         if self.model is None:

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["EpochPlan", "SerialPlan", "PlanStats", "prev_occurrence"]
+__all__ = ["EpochPlan", "SerialPlan", "PlanShard", "PlanStats", "prev_occurrence"]
 
 
 @dataclass
@@ -55,6 +55,37 @@ class PlanStats:
             "plan_repermutes": self.repermutes,
             "plan_cache_hits": self.cache_hits,
         }
+
+
+@dataclass(frozen=True)
+class PlanShard:
+    """One executor's static slice of an :class:`EpochPlan`'s worker lanes.
+
+    The compiled ``(n_waves, s)`` matrix assigns one *logical* worker per
+    column; a shard owns the contiguous run of columns ``[col_lo, col_hi)``.
+    Physical executors (OS processes, OS threads) each take one shard and
+    walk every wave, executing only their own lanes — so within a wave the
+    shards race for real, exactly the batch-Hogwild! concurrency the matrix
+    encodes, while each shard's intra-lane order stays the compiled serial
+    order. Padding only ever shortens a wave from the right, so the live
+    lane count of wave ``i`` inside this shard is
+    ``clip(lengths[i] - col_lo, 0, width)`` (:meth:`live_width`).
+    """
+
+    index: int
+    col_lo: int
+    col_hi: int
+
+    @property
+    def width(self) -> int:
+        return self.col_hi - self.col_lo
+
+    def live_width(self, wave_length: int) -> int:
+        """Live (non-padding) lanes of a wave with ``wave_length`` samples."""
+        live = wave_length - self.col_lo
+        if live <= 0:
+            return 0
+        return live if live < self.width else self.width
 
 
 class EpochPlan:
@@ -163,6 +194,25 @@ class EpochPlan:
     def wave_arrays(self) -> list[np.ndarray]:
         """Materialize the schedule as independent per-wave arrays (copies)."""
         return [self.wave(i).copy() for i in range(self.n_waves)]
+
+    def shard(self, n_shards: int) -> list[PlanShard]:
+        """Partition the plan's worker lanes into ``n_shards`` static shards.
+
+        Columns split as evenly as possible (``linspace`` edges, so shard
+        widths differ by at most one); the union of the shards covers every
+        lane of every wave exactly once. With ``n_shards == 1`` the single
+        shard spans the full width, so executing it wave-by-wave is the
+        serial compiled-plan path bit for bit. Shards are *schedule* slices
+        only — they share the underlying matrix and stay valid across
+        :meth:`repermute` (widths and lengths are shuffle-invariant).
+        """
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        edges = np.linspace(0, self.width, n_shards + 1).astype(np.int64)
+        return [
+            PlanShard(index=i, col_lo=int(edges[i]), col_hi=int(edges[i + 1]))
+            for i in range(n_shards)
+        ]
 
 
 # ----------------------------------------------------------------------

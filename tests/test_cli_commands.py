@@ -58,3 +58,48 @@ class TestTrainCommand:
         assert code == 0
         assert "final test RMSE" in out
         assert (tmp_path / "model.npz").exists()
+
+
+class TestTrainExecutors:
+    def test_out_of_core_requires_procs(self, capsys):
+        for executor in ("serial", "threads"):
+            assert main([
+                "train", "netflix-syn", "--executor", executor, "--out-of-core",
+            ]) == 2
+            assert "--out-of-core requires --executor procs" in (
+                capsys.readouterr().err
+            )
+
+    def test_fault_plan_rejected_with_parallel_executor(self, capsys, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text("{}")
+        assert main([
+            "train", "netflix-syn", "--executor", "threads",
+            "--fault-plan", str(plan),
+        ]) == 2
+        assert "--fault-plan" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_train_threads(self, capsys):
+        code = main([
+            "train", "netflix-syn", "--executor", "threads", "--procs", "2",
+            "--epochs", "2", "--workers", "32", "--k", "8",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "final test RMSE" in out
+        assert "per-worker updates" in out
+
+    @pytest.mark.slow
+    def test_train_procs_out_of_core(self, capsys, tmp_path):
+        ck = tmp_path / "model"
+        code = main([
+            "train", "netflix-syn", "--executor", "procs", "--procs", "2",
+            "--epochs", "2", "--workers", "32", "--k", "8", "--out-of-core",
+            "--save", str(ck),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "blockstore:" in out
+        assert "staging:" in out
+        assert (tmp_path / "model.npz").exists()

@@ -1,10 +1,12 @@
-"""Smoke test for the hot-path benchmark (marker: ``perf``).
+"""Smoke tests for the canonical benchmarks (marker: ``perf``).
 
-Runs ``benchmarks/bench_hot_path.py`` on its tiny quick config and checks
-the emitted ``BENCH_hot_path.json`` document against the pinned schema.
-Speed is *not* asserted here (timing on shared CI runners is noise at this
-scale); bit-identity between the plan path and the naive reference is — it
-is the benchmark's correctness contract and holds at any problem size.
+Runs ``benchmarks/bench_hot_path.py`` and ``benchmarks/bench_parallel.py``
+on their tiny quick configs and checks the emitted ``BENCH_*.json``
+documents against the pinned schemas. Speed is *not* asserted here (timing
+on shared CI runners is noise at this scale, and the 1-core case makes any
+parallel-scaling assertion meaningless); bit-identity is — it is each
+benchmark's correctness contract and holds at any problem size and core
+count.
 """
 
 from __future__ import annotations
@@ -17,18 +19,26 @@ import pytest
 
 pytestmark = pytest.mark.perf
 
-BENCH_PATH = (
-    Path(__file__).resolve().parent.parent / "benchmarks" / "bench_hot_path.py"
-)
+BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
+BENCH_PATH = BENCHMARKS / "bench_hot_path.py"
+
+
+def _load(name: str):
+    """Load a benchmark module by path (benchmarks/ is not a package)."""
+    spec = importlib.util.spec_from_file_location(name, BENCHMARKS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 @pytest.fixture(scope="module")
 def bench():
-    """The benchmark module, loaded by path (benchmarks/ is not a package)."""
-    spec = importlib.util.spec_from_file_location("bench_hot_path", BENCH_PATH)
-    module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
-    return module
+    return _load("bench_hot_path")
+
+
+@pytest.fixture(scope="module")
+def bench_par():
+    return _load("bench_parallel")
 
 
 class TestBenchHotPathSmoke:
@@ -69,6 +79,11 @@ class TestBenchHotPathSmoke:
             with pytest.raises(ValueError, match="invalid BENCH_hot_path"):
                 bench.validate_result(bad)
 
+    def test_default_out_is_repo_root(self, bench):
+        """BENCH_hot_path.json is canonical at the repo root (CI archives
+        it from there)."""
+        assert bench.DEFAULT_OUT == BENCHMARKS.parent / "BENCH_hot_path.json"
+
     def test_naive_reference_matches_shipped_schedule(self, bench):
         """The embedded reference must draw the same waves as BatchHogwild
         — otherwise the race (and its bit-identity assertion) is vacuous."""
@@ -83,3 +98,47 @@ class TestBenchHotPathSmoke:
             want = shipped.wave_indices(1000)
             assert len(got) == len(want)
             assert all(np.array_equal(a, b) for a, b in zip(got, want))
+
+
+class TestBenchParallelSmoke:
+    def test_quick_run_emits_valid_document(self, bench_par, tmp_path):
+        out = tmp_path / "BENCH_parallel.json"
+        doc = bench_par.main(["--quick", "--out", str(out)])
+        bench_par.validate_result(doc)  # raises on schema violations
+        assert doc["config"] == bench_par.QUICK_CONFIG
+        assert doc["bit_identical"] is True  # n_procs=1 == serial plan path
+        assert doc["metrics"]["cpu_count"] >= 1
+        on_disk = json.loads(out.read_text())
+        assert on_disk == doc
+
+    def test_validate_rejects_malformed_documents(self, bench_par):
+        metrics = {"cpu_count": 4}
+        for key in bench_par.VARIANTS:
+            metrics[f"{key}_epoch_seconds"] = 0.1
+            metrics[f"{key}_updates_per_sec"] = 1e6
+        metrics.update(threads_vs_serial=1.5, procs_vs_serial=2.0,
+                       ooc_overhead=1.2)
+        good = {
+            "benchmark": "parallel",
+            "schema_version": bench_par.SCHEMA_VERSION,
+            "config": dict(bench_par.QUICK_CONFIG),
+            "metrics": metrics,
+            "bit_identical": True,
+        }
+        bench_par.validate_result(good)
+        for mutate in (
+            lambda d: d.pop("bit_identical"),
+            lambda d: d.update(benchmark="hot_path"),
+            lambda d: d.update(schema_version=99),
+            lambda d: d["config"].update(n_procs=0),
+            lambda d: d["metrics"].update(procs_vs_serial=0),
+            lambda d: d["metrics"].update(cpu_count=1.5),
+            lambda d: d["metrics"].pop("ooc_overhead"),
+        ):
+            bad = json.loads(json.dumps(good))
+            mutate(bad)
+            with pytest.raises(ValueError, match="invalid BENCH_parallel"):
+                bench_par.validate_result(bad)
+
+    def test_default_out_is_repo_root(self, bench_par):
+        assert bench_par.DEFAULT_OUT == BENCHMARKS.parent / "BENCH_parallel.json"
