@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import tempfile
 import time
 from pathlib import Path
 
@@ -40,9 +41,21 @@ from repro.core.hogwild import BatchHogwild
 from repro.core.kernels import sgd_wave_update
 from repro.core.model import FactorModel
 from repro.data.synthetic import DatasetSpec, make_synthetic
+from repro.obs.ledger import PerfLedger, bench_meta
+from repro.obs.profiler import PhaseTimer
+from repro.obs.relay import WorkerTelemetry
 
-SCHEMA_VERSION = 1
+# v2: +meta provenance stamp (bench_meta), +profiler_overhead budget gate
+SCHEMA_VERSION = 2
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_hot_path.json"
+
+#: Worker-side profiling (phase timer + telemetry span + spool flush per
+#: epoch) must cost < 5% of a serial epoch — same budget discipline as
+#: ``bench_obs_overhead.py``. Enforced by :func:`validate_result`.
+MAX_PROFILER_OVERHEAD = 0.05
+_PROF_MIN_ROUNDS = 6
+_PROF_MAX_ROUNDS = 30
+_PROF_CONFIDENT = 0.03
 
 #: The acceptance configuration: nnz >= 1e6, k = 32, s = 128 workers.
 REFERENCE_CONFIG = {
@@ -120,6 +133,50 @@ def _timed(fn, *args) -> tuple[float, int]:
     return seconds, result
 
 
+def _profiler_overhead(sched, model, train) -> float:
+    """Relative cost of per-epoch profiling on the serial hot path.
+
+    Interleaves bare epochs with epochs wrapped in exactly the worker-side
+    instrumentation the parallel executors pay per epoch — a
+    :class:`PhaseTimer` compute phase, a :class:`WorkerTelemetry` span, and
+    a JSONL spool flush — and compares the per-variant *minima* (the
+    bench_obs_overhead.py methodology: additive noise cannot lower a
+    minimum, so each variant's best shot converges to its true cost).
+    Sampling is adaptive: stops early once the bound is comfortably met.
+    """
+    timer = PhaseTimer()
+    base = prof = float("inf")
+    with tempfile.TemporaryDirectory(prefix="bench-hot-prof-") as tmp:
+        telemetry = WorkerTelemetry(
+            0, origin=time.perf_counter(),
+            spool_path=Path(tmp) / "worker_0000.jsonl",
+        )
+
+        def bare() -> float:
+            t0 = time.perf_counter()
+            sched.run_epoch(model, train, 0.05, 0.05)
+            return time.perf_counter() - t0
+
+        def profiled(epoch: int) -> float:
+            t0 = time.perf_counter()
+            with timer.phase("compute"):
+                with telemetry.span(f"epoch {epoch} compute") as span_args:
+                    n = sched.run_epoch(model, train, 0.05, 0.05)
+                    span_args["updates"] = n
+            telemetry.flush()
+            return time.perf_counter() - t0
+
+        bare(), profiled(0)  # warm both paths
+        rounds = 0
+        while rounds < _PROF_MAX_ROUNDS:
+            base = min(base, bare())
+            prof = min(prof, profiled(rounds + 1))
+            rounds += 1
+            if rounds >= _PROF_MIN_ROUNDS and prof / base - 1.0 < _PROF_CONFIDENT:
+                break
+    return prof / base - 1.0
+
+
 def run_config(config: dict) -> dict:
     """Race both implementations over one dataset; return the result doc."""
     spec = DatasetSpec(
@@ -164,17 +221,23 @@ def run_config(config: dict) -> dict:
     epoch_seconds = min(plan_times)
     naive_epoch_seconds = min(naive_times)
     ws = sched.workspace
+    plan_compiles = sched.plan_stats.compiles
+    plan_repermutes = sched.plan_stats.repermutes
+    # after bit-identity capture: extra epochs only advance the plan RNG
+    profiler_overhead = _profiler_overhead(sched, model, train)
     return {
         "benchmark": "hot_path",
         "schema_version": SCHEMA_VERSION,
         "config": dict(config),
+        "meta": bench_meta(),
         "metrics": {
             "epoch_seconds": epoch_seconds,
             "naive_epoch_seconds": naive_epoch_seconds,
             "speedup": speedup,
             "updates_per_sec": train.nnz / epoch_seconds,
-            "plan_compiles": sched.plan_stats.compiles,
-            "plan_repermutes": sched.plan_stats.repermutes,
+            "profiler_overhead": profiler_overhead,
+            "plan_compiles": plan_compiles,
+            "plan_repermutes": plan_repermutes,
             "workspace_allocations": ws.allocations,
             "workspace_bytes": ws.nbytes,
         },
@@ -209,11 +272,23 @@ def validate_result(doc: dict) -> None:
         value = metrics.get(key)
         if not isinstance(value, (int, float)) or value <= 0:
             fail(f"metrics.{key} must be a positive number, got {value!r}")
+    overhead = metrics.get("profiler_overhead")
+    if not isinstance(overhead, (int, float)):
+        fail(f"metrics.profiler_overhead must be a number, got {overhead!r}")
+    if overhead >= MAX_PROFILER_OVERHEAD:
+        fail(f"metrics.profiler_overhead {overhead:.1%} exceeds the "
+             f"{MAX_PROFILER_OVERHEAD:.0%} budget")
     for key in ("plan_compiles", "plan_repermutes",
                 "workspace_allocations", "workspace_bytes"):
         value = metrics.get(key)
         if not isinstance(value, int) or value < 0:
             fail(f"metrics.{key} must be a non-negative int, got {value!r}")
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        fail("meta missing or not a mapping")
+    for key in ("git_sha", "timestamp_utc", "hostname", "cpu_count"):
+        if key not in meta:
+            fail(f"meta.{key} missing")
     if not isinstance(doc.get("bit_identical"), bool):
         fail("bit_identical must be a bool")
 
@@ -228,6 +303,11 @@ def main(argv: list[str] | None = None) -> dict:
         "--out", type=Path, default=DEFAULT_OUT,
         help=f"output JSON path (default {DEFAULT_OUT})",
     )
+    parser.add_argument(
+        "--ledger", type=Path, default=None,
+        help="also append the result to this perf ledger JSONL "
+             "(e.g. results/perf_ledger.jsonl)",
+    )
     args = parser.parse_args(argv)
 
     config = QUICK_CONFIG if args.quick else REFERENCE_CONFIG
@@ -235,6 +315,9 @@ def main(argv: list[str] | None = None) -> dict:
     validate_result(doc)
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    if args.ledger is not None:
+        PerfLedger(args.ledger).append(doc)
+        print(f"appended to ledger {args.ledger}")
 
     m = doc["metrics"]
     print(f"nnz={config['nnz']:,} k={config['k']} workers={config['workers']} "
@@ -244,6 +327,8 @@ def main(argv: list[str] | None = None) -> dict:
     print(f"naive path  : {m['naive_epoch_seconds'] * 1e3:9.2f} ms/epoch")
     print(f"speedup     : {m['speedup']:.2f}x   "
           f"bit-identical: {doc['bit_identical']}")
+    print(f"profiler overhead: {m['profiler_overhead'] * 100:+.2f}% "
+          f"(budget {MAX_PROFILER_OVERHEAD:.0%})")
     print(f"wrote {args.out}")
     return doc
 

@@ -1,7 +1,13 @@
 """Executor benchmark: serial vs threaded vs multiprocess Hogwild.
 
 Races the three CPU executors over the same synthetic problem and reports
-epochs/sec for each, plus the out-of-core staging overhead:
+epochs/sec for each, plus ``ooc_vs_procs`` — the paired-ratio median of
+out-of-core over in-core procs epoch time (< 1 ⇒ streaming from the
+BlockStore is *faster* than in-core; the pre-v2 name ``ooc_overhead`` is
+kept as a deprecated alias for one release). Each document also embeds the
+procs executors' :class:`~repro.obs.profiler.StallReport` phase attribution
+(``stall_report`` / ``stall_report_ooc``) and a ``meta`` provenance stamp
+(git SHA, UTC timestamp, hostname, cpu count) for the perf ledger:
 
 * **serial** — :class:`repro.core.hogwild.BatchHogwild`, the compiled-plan
   single-core path (the bench_hot_path.py subject);
@@ -51,9 +57,14 @@ from repro.core.lr_schedule import NomadSchedule
 from repro.core.model import FactorModel
 from repro.data.blockstore import BlockStore
 from repro.data.synthetic import DatasetSpec, make_synthetic
+from repro.obs.ledger import PerfLedger, bench_meta
+from repro.obs.profiler import StallReport
 from repro.parallel import ProcessHogwild, ThreadedHogwild
 
-SCHEMA_VERSION = 1
+# v2: +meta provenance stamp (bench_meta), +stall_report / stall_report_ooc
+# phase attribution, ooc_overhead renamed ooc_vs_procs (deprecated alias
+# kept one release — see run_config)
+SCHEMA_VERSION = 2
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
 
 #: The acceptance configuration: nnz >= 1e6, k = 32, s = 128 workers.
@@ -100,13 +111,14 @@ def _run_threads(config: dict, train) -> None:
     est.fit(train, epochs=config["epochs"])
 
 
-def _run_procs(config: dict, train, store: BlockStore | None = None) -> None:
+def _run_procs(config: dict, train, store: BlockStore | None = None) -> ProcessHogwild:
     est = ProcessHogwild(
         k=config["k"], n_procs=config["n_procs"], lam=0.05,
         seed=config["seed"], workers=config["workers"], f=config["f"],
         store=store,
     )
     est.fit(train if store is None else None, epochs=config["epochs"])
+    return est
 
 
 def _bit_identity_check() -> bool:
@@ -150,11 +162,18 @@ def run_config(config: dict) -> dict:
             train, config["grid"], config["grid"], tmp,
             seed=config["seed"],
         )
+        # keep the last fitted procs estimators: their StallReports (phase
+        # accounting is always on, spooling only under a tracer — no timing
+        # skew) become the doc's stall_report / stall_report_ooc
+        fitted: dict[str, ProcessHogwild] = {}
         runs = [
             ("serial", lambda: _run_serial(config, train)),
             ("threads", lambda: _run_threads(config, train)),
-            ("procs", lambda: _run_procs(config, train)),
-            ("procs_ooc", lambda: _run_procs(config, train, store=store)),
+            ("procs",
+             lambda: fitted.__setitem__("procs", _run_procs(config, train))),
+            ("procs_ooc",
+             lambda: fitted.__setitem__(
+                 "procs_ooc", _run_procs(config, train, store=store))),
         ]
         for r in range(config["rounds"]):
             # rotate who goes first so frequency drift cancels in the medians
@@ -175,13 +194,21 @@ def run_config(config: dict) -> dict:
         metrics[f"{key}_updates_per_sec"] = train.nnz * epochs / best
     metrics["threads_vs_serial"] = ratio("serial", "threads")
     metrics["procs_vs_serial"] = ratio("serial", "procs")
-    metrics["ooc_overhead"] = ratio("procs_ooc", "procs")
+    # t(procs_ooc) / t(procs): < 1 means the out-of-core pipeline is
+    # *faster* than in-core procs, > 1 means staging costs wall time
+    metrics["ooc_vs_procs"] = ratio("procs_ooc", "procs")
+    # deprecated v1 alias — the old name read as a cost even when < 1;
+    # kept one release for downstream readers, removed in schema v3
+    metrics["ooc_overhead"] = metrics["ooc_vs_procs"]
     metrics["cpu_count"] = os.cpu_count() or 1
     return {
         "benchmark": "parallel",
         "schema_version": SCHEMA_VERSION,
         "config": dict(config),
+        "meta": bench_meta(),
         "metrics": metrics,
+        "stall_report": fitted["procs"].stall_report.as_dict(),
+        "stall_report_ooc": fitted["procs_ooc"].stall_report.as_dict(),
         "bit_identical": _bit_identity_check(),
     }
 
@@ -211,14 +238,37 @@ def validate_result(doc: dict) -> None:
         fail("metrics missing or not a mapping")
     positive = [f"{key}_epoch_seconds" for key in VARIANTS]
     positive += [f"{key}_updates_per_sec" for key in VARIANTS]
-    positive += ["threads_vs_serial", "procs_vs_serial", "ooc_overhead"]
+    positive += ["threads_vs_serial", "procs_vs_serial", "ooc_vs_procs"]
     for key in positive:
         value = metrics.get(key)
         if not isinstance(value, (int, float)) or value <= 0:
             fail(f"metrics.{key} must be a positive number, got {value!r}")
+    if "ooc_overhead" in metrics and (
+        metrics["ooc_overhead"] != metrics.get("ooc_vs_procs")
+    ):
+        fail("deprecated metrics.ooc_overhead must alias metrics.ooc_vs_procs")
     cpus = metrics.get("cpu_count")
     if not isinstance(cpus, int) or cpus <= 0:
         fail(f"metrics.cpu_count must be a positive int, got {cpus!r}")
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        fail("meta missing or not a mapping")
+    for key in ("git_sha", "timestamp_utc", "hostname", "cpu_count"):
+        if key not in meta:
+            fail(f"meta.{key} missing")
+    for key in ("stall_report", "stall_report_ooc"):
+        report = doc.get(key)
+        if not isinstance(report, dict):
+            fail(f"{key} missing or not a mapping")
+        try:
+            StallReport.validate_dict(report)
+        except ValueError as exc:
+            fail(f"{key}: {exc}")
+    ooc = doc["stall_report_ooc"]
+    if doc["stall_report"].get("executor") != "procs":
+        fail("stall_report.executor must be 'procs'")
+    if ooc.get("executor") != "procs_ooc":
+        fail("stall_report_ooc.executor must be 'procs_ooc'")
     if not isinstance(doc.get("bit_identical"), bool):
         fail("bit_identical must be a bool")
 
@@ -233,6 +283,11 @@ def main(argv: list[str] | None = None) -> dict:
         "--out", type=Path, default=DEFAULT_OUT,
         help=f"output JSON path (default {DEFAULT_OUT})",
     )
+    parser.add_argument(
+        "--ledger", type=Path, default=None,
+        help="also append the result to this perf ledger JSONL "
+             "(e.g. results/perf_ledger.jsonl)",
+    )
     args = parser.parse_args(argv)
 
     config = QUICK_CONFIG if args.quick else REFERENCE_CONFIG
@@ -240,6 +295,9 @@ def main(argv: list[str] | None = None) -> dict:
     validate_result(doc)
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    if args.ledger is not None:
+        PerfLedger(args.ledger).append(doc)
+        print(f"appended to ledger {args.ledger}")
 
     m = doc["metrics"]
     print(f"nnz={config['nnz']:,} k={config['k']} "
@@ -250,8 +308,12 @@ def main(argv: list[str] | None = None) -> dict:
               f"({m[f'{key}_updates_per_sec'] / 1e6:.2f} M updates/s)")
     print(f"threads vs serial: {m['threads_vs_serial']:.2f}x   "
           f"procs vs serial: {m['procs_vs_serial']:.2f}x   "
-          f"out-of-core overhead: {m['ooc_overhead']:.2f}x")
+          f"out-of-core vs procs: {m['ooc_vs_procs']:.2f}x (<1 means ooc faster)")
     print(f"n_procs=1 bit-identical to serial: {doc['bit_identical']}")
+    agg = doc["stall_report"]["aggregate"]["fractions"]
+    print("procs stall attribution: " + "  ".join(
+        f"{phase}={agg[phase]:.1%}" for phase in doc["stall_report"]["phases"]
+    ))
     print(f"wrote {args.out}")
     return doc
 

@@ -48,8 +48,15 @@ _STORE_VERSION = 1
 #: Shared names the prefetch loader thread may legitimately mutate, audited
 #: by the ``race-shared-write`` lint pass: ``stats`` fields are written by
 #: the loader and only read by the consumer after join(); ``ready`` /
-#: ``slots`` are internally locked :class:`queue.Queue` hand-off channels.
-SHARED_WRITE_OK = ("stats", "ready", "slots")
+#: ``slots`` are internally locked :class:`queue.Queue` hand-off channels;
+#: ``telemetry`` buffers span records via GIL-atomic list appends and is
+#: only flushed after the loader joins.
+SHARED_WRITE_OK = ("stats", "ready", "slots", "telemetry")
+
+#: Consumer stalls shorter than this render as noise, not signal — they
+#: still accumulate into :attr:`PrefetchStats.wait_seconds`, but no
+#: ``stage.stall`` span is emitted for them.
+STALL_SPAN_MIN_S = 1e-4
 
 
 @dataclass(frozen=True)
@@ -369,6 +376,14 @@ class BlockPrefetcher:
     :attr:`PrefetchStats.wait_seconds`). The yielded record array is a view
     into a staging buffer, valid until the next iteration step.
 
+    ``telemetry`` (a :class:`repro.obs.relay.WorkerTelemetry`) additionally
+    records one ``stage.load`` span per shard read (loader side) and a
+    ``stage.stall`` span whenever the consumer blocks longer than
+    :data:`STALL_SPAN_MIN_S` — the visible form of the exposed-transfer
+    residue. Both sides append to the telemetry buffer under the GIL, and
+    the caller only flushes after iteration completes (the loader is joined
+    by then), so the hand-off needs no extra locking.
+
     One prefetcher serves one consumer; create one per worker.
     """
 
@@ -377,12 +392,14 @@ class BlockPrefetcher:
         store: BlockStore,
         sequence: Iterable[tuple[int, int]],
         depth: int = 2,
+        telemetry=None,
     ) -> None:
         if depth < 1:
             raise ValueError(f"prefetch depth must be >= 1, got {depth}")
         self.store = store
         self.sequence = list(sequence)
         self.depth = depth
+        self.telemetry = telemetry
         capacity = max(store.max_block_nnz, 1)
         self._buffers = [
             np.empty(capacity, dtype=COO_DTYPE) for _ in range(depth)
@@ -391,6 +408,7 @@ class BlockPrefetcher:
 
     def __iter__(self) -> Iterator[tuple[tuple[int, int], np.ndarray]]:
         stats = self.stats
+        telemetry = self.telemetry
         slots: queue.Queue = queue.Queue()
         ready: queue.Queue = queue.Queue()
         stop = threading.Event()
@@ -406,9 +424,16 @@ class BlockPrefetcher:
                         return
                     t0 = time.perf_counter()
                     n = store.load_into(bi, bj, buffers[slot])
-                    stats.load_seconds += time.perf_counter() - t0
+                    load_s = time.perf_counter() - t0
+                    stats.load_seconds += load_s
                     stats.blocks_loaded += 1
                     stats.bytes_loaded += n * SAMPLE_BYTES
+                    if telemetry is not None:
+                        telemetry.add_span(
+                            f"stage.load b({bi},{bj})",
+                            t0 - telemetry.origin, load_s, cat="stage",
+                            args={"bytes": n * SAMPLE_BYTES},
+                        )
                     ready.put((slot, (bi, bj), n))
             except BaseException as exc:  # pragma: no cover - defensive
                 ready.put(_LoaderFailure(exc))
@@ -421,7 +446,13 @@ class BlockPrefetcher:
             for _ in range(len(self.sequence)):
                 t0 = time.perf_counter()
                 item = ready.get()
-                stats.wait_seconds += time.perf_counter() - t0
+                wait_s = time.perf_counter() - t0
+                stats.wait_seconds += wait_s
+                if telemetry is not None and wait_s >= STALL_SPAN_MIN_S:
+                    telemetry.add_span(
+                        "stage.stall", t0 - telemetry.origin, wait_s,
+                        cat="stage",
+                    )
                 if isinstance(item, _LoaderFailure):
                     raise item.exc
                 slot, coords, n = item

@@ -11,7 +11,10 @@ Subcommands::
     cumf-sgd plan hugewiki --gpu pascal --devices 2
     cumf-sgd throughput --gpu maxwell --workers 768
     cumf-sgd trace fig07 --out results/fig07_trace.json       # Chrome trace
+    cumf-sgd train netflix-syn --executor procs --trace results/train_trace.json
     cumf-sgd metrics-dump fig10 --out results/fig10_metrics.json
+    cumf-sgd perf-diff                                    # gate BENCH_*.json
+    cumf-sgd perf-diff --against results/perf_ledger.jsonl --record
     cumf-sgd fault-demo --seed 0 --out results/fault_metrics.json
     cumf-sgd train netflix-syn --scheme multi_device --fault-plan plan.json
     cumf-sgd lint [paths...] [--format json]   # reprolint static analysis
@@ -23,6 +26,16 @@ byte-identical metrics dump. ``train --fault-plan`` runs training under an
 injected :class:`repro.resilience.faults.FaultPlan` loaded from JSON, with
 checkpoint/rollback recovery via
 :class:`repro.resilience.trainer.ResilientTrainer`.
+
+``train --trace PATH`` runs the training itself under telemetry and writes
+one merged multi-lane Chrome trace: the trainer's wall lane plus one lane
+per worker (``--executor procs``: per-process pid rows relayed through
+:class:`repro.obs.relay.TraceRelay`; ``--executor threads``: per-thread tid
+rows), and prints the :class:`repro.obs.profiler.StallReport` phase table.
+``perf-diff`` compares fresh ``BENCH_*.json`` documents against the perf
+ledger (``results/perf_ledger.jsonl``) and exits 1 on a >15% regression in
+the gated throughput metrics; a missing baseline warns and exits 0 (the
+run can seed the ledger via ``--record``).
 
 ``trace`` and ``metrics-dump`` run an experiment under the
 :mod:`repro.obs` telemetry collector (plus a standard instrumented probe,
@@ -123,6 +136,10 @@ def _build_parser() -> argparse.ArgumentParser:
     train_p.add_argument("--checkpoint-dir", type=Path,
                          help="recovery checkpoint directory for --fault-plan "
                          "(default: a temporary directory)")
+    train_p.add_argument("--trace", type=Path,
+                         help="run under telemetry and write a merged "
+                         "multi-lane Chrome trace here (one lane per "
+                         "worker for --executor threads|procs)")
 
     plan_p = sub.add_parser("plan", help="plan a training configuration (§6.1 + §7.5)")
     plan_p.add_argument("dataset", help="paper-scale data set (netflix/yahoo/hugewiki)")
@@ -172,6 +189,25 @@ def _build_parser() -> argparse.ArgumentParser:
     fault_p.add_argument("--out", type=Path,
                          help="write the (deterministic) metrics registry JSON")
 
+    diff_p = sub.add_parser(
+        "perf-diff",
+        help="gate benchmark documents against the perf ledger "
+        "(exit 1 on >threshold regression; missing baseline warns)",
+    )
+    diff_p.add_argument(
+        "docs", nargs="*", type=Path,
+        help="BENCH_*.json documents (default: BENCH_hot_path.json and "
+        "BENCH_parallel.json where present)",
+    )
+    diff_p.add_argument("--against", type=Path, default=None,
+                        help="perf ledger JSONL "
+                        "(default results/perf_ledger.jsonl)")
+    diff_p.add_argument("--threshold", type=float, default=None,
+                        help="regression gate as a fraction (default 0.15)")
+    diff_p.add_argument("--record", action="store_true",
+                        help="append the documents to the ledger after "
+                        "diffing (seeds/extends the baseline)")
+
     from repro.lint.cli import add_lint_arguments
 
     lint_p = sub.add_parser(
@@ -211,6 +247,26 @@ def _cmd_all(args) -> int:
 
 
 def _cmd_train(args) -> int:
+    if args.trace is None:
+        return _run_train(args)
+    from repro.obs import TelemetryCollector, activate, validate_chrome_trace
+
+    collector = TelemetryCollector(run_label=f"train-{args.dataset}")
+    with activate(collector):
+        rc = _run_train(args)
+    trace = collector.tracer.to_chrome()
+    n_events = validate_chrome_trace(trace)
+    lanes = {
+        (e.get("pid"), e.get("tid"))
+        for e in trace["traceEvents"] if e.get("ph") != "M"
+    }
+    collector.tracer.write(args.trace)
+    print(f"trace: {n_events} events on {len(lanes)} lanes -> {args.trace}")
+    print("open in chrome://tracing or https://ui.perfetto.dev")
+    return rc
+
+
+def _run_train(args) -> int:
     from repro.core.checkpoint import save_model
     from repro.core.lr_schedule import NomadSchedule
     from repro.core.trainer import CuMFSGD
@@ -347,6 +403,8 @@ def _train_parallel(args, spec, problem) -> int:
           f"({record.musec:.1f} M updates/s Eq.7) "
           f"across {args.procs} {args.executor}")
     print(f"per-worker updates (last epoch): {per_worker}")
+    if est.stall_report is not None:
+        print(est.stall_report.format())
     if args.save:
         path = save_model(args.save, est.model, epoch=len(history.epochs),
                           metadata={"dataset": args.dataset,
@@ -495,6 +553,47 @@ def _cmd_throughput(args) -> int:
     return 0
 
 
+def _cmd_perf_diff(args) -> int:
+    import json
+
+    from repro.obs.ledger import (
+        DEFAULT_LEDGER_PATH,
+        DEFAULT_THRESHOLD,
+        PerfLedger,
+        perf_diff,
+    )
+
+    paths = args.docs or [
+        p for p in (Path("BENCH_hot_path.json"), Path("BENCH_parallel.json"))
+        if p.exists()
+    ]
+    if not paths:
+        print("perf-diff: no benchmark documents found — pass paths or run "
+              "the benches first", file=sys.stderr)
+        return 2
+    docs = []
+    for path in paths:
+        try:
+            doc = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"perf-diff: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(doc, dict) or "benchmark" not in doc:
+            print(f"perf-diff: {path} is not a benchmark document",
+                  file=sys.stderr)
+            return 2
+        docs.append(doc)
+    ledger = PerfLedger(args.against or DEFAULT_LEDGER_PATH)
+    threshold = DEFAULT_THRESHOLD if args.threshold is None else args.threshold
+    result = perf_diff(docs, ledger, threshold=threshold)
+    print(result.format())
+    if args.record:
+        for doc in docs:
+            ledger.append(doc)
+        print(f"recorded {len(docs)} run(s) to {ledger.path}")
+    return 0 if result.ok else 1
+
+
 def _cmd_lint(args) -> int:
     from repro.lint.cli import run_from_args
 
@@ -518,6 +617,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "metrics-dump": _cmd_metrics_dump,
         "fault-demo": _cmd_fault_demo,
+        "perf-diff": _cmd_perf_diff,
         "lint": _cmd_lint,
     }[args.command](args)
 

@@ -39,7 +39,10 @@ from repro.obs.hooks import (
     resolve_hooks,
     resolve_kernel_stride,
 )
+from repro.obs.ledger import PerfLedger, bench_meta, perf_diff
+from repro.obs.profiler import PHASES, PhaseTimer, StallReport, WorkerPhases
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry, Series
+from repro.obs.relay import TraceRelay, WorkerTelemetry, merge_records, read_spool
 from repro.obs.trace_schema import TraceValidationError, validate_chrome_trace
 from repro.obs.tracer import Tracer
 
@@ -69,4 +72,15 @@ __all__ = [
     "active_hooks",
     "active_registry",
     "active_tracer",
+    "TraceRelay",
+    "WorkerTelemetry",
+    "merge_records",
+    "read_spool",
+    "PHASES",
+    "PhaseTimer",
+    "StallReport",
+    "WorkerPhases",
+    "PerfLedger",
+    "bench_meta",
+    "perf_diff",
 ]

@@ -1,0 +1,249 @@
+"""Phase attribution for parallel executors: where did the wall time go?
+
+The parallel executors run at a fraction of serial throughput
+(BENCH_parallel.json) and aggregate updates/s cannot say why. This module
+classifies every worker's wall time into a fixed stall taxonomy:
+
+``compute``
+    inside the SGD wave kernels (the only phase that *earns* updates);
+``barrier``
+    blocked on the epoch dispatch/completion barriers — load imbalance and
+    parent-side latency show up here;
+``spawn``
+    process/thread launch, shared-memory attach, and plan/buffer setup —
+    the fixed cost HOGWILD!-style executors amortize over epochs;
+``prefetch``
+    consumer-side stalls waiting on the out-of-core
+    :class:`~repro.data.blockstore.BlockPrefetcher` (the exposed, i.e.
+    un-overlapped, transfer residue of the paper's §6.2 pipeline);
+``replay``
+    everything else — plan gather/compile, per-epoch bookkeeping, spool
+    flushes. Computed as the residual ``wall − measured phases``, so the
+    per-worker fractions sum to 1 by construction.
+
+:class:`StallReport` carries per-worker and aggregate phase seconds and
+fractions, serializes into ``BENCH_parallel.json``, and publishes as the
+``repro.profile.*`` metric family (manifest names on
+:class:`repro.obs.registry.M`).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+__all__ = [
+    "PHASES",
+    "BARRIER_WAIT_BUCKETS",
+    "PhaseTimer",
+    "WorkerPhases",
+    "StallReport",
+]
+
+#: The stall taxonomy, in report order. ``replay`` is the residual phase —
+#: it absorbs whatever wall time the measured phases do not cover.
+PHASES = ("compute", "barrier", "spawn", "prefetch", "replay")
+
+_MEASURED = tuple(p for p in PHASES if p != "replay")
+
+#: Bucket edges (seconds) for per-worker barrier-wait histograms: spans
+#: everything from an uncontended futex wake to a straggler-bound epoch.
+BARRIER_WAIT_BUCKETS = (
+    1e-5, 1e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0
+)
+
+
+class PhaseTimer:
+    """Cheap per-worker phase accumulator (a dict of seconds + one clock).
+
+    Workers call :meth:`add` with durations they already measured around
+    the hot calls, or wrap cold sections in :meth:`phase`; either way the
+    hot loops themselves stay untouched and allocation-free.
+    """
+
+    __slots__ = ("seconds", "_clock")
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self.seconds = {p: 0.0 for p in _MEASURED}
+        self._clock = clock
+
+    def add(self, phase: str, seconds: float) -> None:
+        self.seconds[phase] += max(0.0, float(seconds))
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.add(name, self._clock() - start)
+
+
+@dataclass
+class WorkerPhases:
+    """One worker's wall time split across the taxonomy.
+
+    ``seconds`` holds the *measured* phases; ``replay`` is derived. When
+    measured time exceeds the wall clock (overlapping instrumentation,
+    clock noise) the denominator stretches to the measured sum, so
+    fractions always total 1 for any worker with positive wall time.
+    """
+
+    wid: int
+    wall_seconds: float
+    seconds: dict = field(default_factory=dict)
+
+    def attributed(self) -> dict:
+        """Seconds per phase including the ``replay`` residual."""
+        out = {p: max(0.0, float(self.seconds.get(p, 0.0))) for p in _MEASURED}
+        out["replay"] = max(0.0, self.wall_seconds - sum(out.values()))
+        return out
+
+    def fractions(self) -> dict:
+        att = self.attributed()
+        denom = sum(att.values())
+        if denom <= 0.0:
+            return {p: 0.0 for p in PHASES}
+        return {p: att[p] / denom for p in PHASES}
+
+
+class StallReport:
+    """Per-worker + aggregate phase attribution for one executor run."""
+
+    def __init__(self, executor: str, workers: list[WorkerPhases]) -> None:
+        self.executor = executor
+        self.workers = list(workers)
+
+    # -- aggregates -----------------------------------------------------
+    @property
+    def wall_seconds(self) -> float:
+        return sum(w.wall_seconds for w in self.workers)
+
+    def aggregate_seconds(self) -> dict:
+        totals = {p: 0.0 for p in PHASES}
+        for w in self.workers:
+            for p, s in w.attributed().items():
+                totals[p] += s
+        return totals
+
+    def aggregate_fractions(self) -> dict:
+        totals = self.aggregate_seconds()
+        denom = sum(totals.values())
+        if denom <= 0.0:
+            return {p: 0.0 for p in PHASES}
+        return {p: totals[p] / denom for p in PHASES}
+
+    # -- serialization --------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "executor": self.executor,
+            "phases": list(PHASES),
+            "workers": [
+                {
+                    "wid": w.wid,
+                    "wall_seconds": w.wall_seconds,
+                    "seconds": w.attributed(),
+                    "fractions": w.fractions(),
+                }
+                for w in self.workers
+            ],
+            "aggregate": {
+                "wall_seconds": self.wall_seconds,
+                "seconds": self.aggregate_seconds(),
+                "fractions": self.aggregate_fractions(),
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, state: Mapping) -> "StallReport":
+        workers = [
+            WorkerPhases(
+                wid=int(w["wid"]),
+                wall_seconds=float(w["wall_seconds"]),
+                seconds={
+                    p: float(s)
+                    for p, s in w["seconds"].items()
+                    if p != "replay"  # re-derived from the wall clock
+                },
+            )
+            for w in state["workers"]
+        ]
+        return cls(str(state["executor"]), workers)
+
+    @staticmethod
+    def validate_dict(state: Mapping, tolerance: float = 0.02) -> None:
+        """Schema + invariant check for an embedded report (benchmarks).
+
+        Every worker's fractions must sum to 1 ± ``tolerance`` (workers
+        with zero attributed time sum to 0 and are rejected — a profiled
+        run always observes wall time).
+        """
+        for key in ("executor", "phases", "workers", "aggregate"):
+            if key not in state:
+                raise ValueError(f"stall_report missing key {key!r}")
+        if tuple(state["phases"]) != PHASES:
+            raise ValueError(
+                f"stall_report phases {state['phases']} != {list(PHASES)}"
+            )
+        if not state["workers"]:
+            raise ValueError("stall_report has no workers")
+        for w in state["workers"]:
+            total = math.fsum(float(w["fractions"][p]) for p in PHASES)
+            if abs(total - 1.0) > tolerance:
+                raise ValueError(
+                    f"worker {w['wid']} phase fractions sum to {total:.4f}, "
+                    f"expected 1.0 ± {tolerance}"
+                )
+
+    # -- publication ----------------------------------------------------
+    def publish(self, registry=None) -> None:
+        """Emit ``repro.profile.*`` into ``registry`` (default: the ambient
+        one; no-op when none is active)."""
+        from repro.obs.context import active_registry
+        from repro.obs.registry import M
+
+        if registry is None:
+            registry = active_registry()
+        if registry is None:
+            return
+        scopes = [
+            (str(w.wid), w.wall_seconds, w.attributed(), w.fractions())
+            for w in self.workers
+        ]
+        scopes.append(
+            (
+                "all",
+                self.wall_seconds,
+                self.aggregate_seconds(),
+                self.aggregate_fractions(),
+            )
+        )
+        for worker, wall, seconds, fractions in scopes:
+            base = {"executor": self.executor, "worker": worker}
+            registry.gauge(M.PROFILE_WALL_SECONDS, base).set(wall)
+            for p in PHASES:
+                labels = {**base, "phase": p}
+                registry.counter(M.PROFILE_PHASE_SECONDS, labels).inc(seconds[p])
+                registry.gauge(M.PROFILE_PHASE_FRACTION, labels).set(fractions[p])
+
+    # -- presentation ---------------------------------------------------
+    def format(self) -> str:
+        """Human-readable table for CLI output."""
+        lines = [
+            f"stall report — executor={self.executor}, "
+            f"{len(self.workers)} workers, "
+            f"{self.wall_seconds:.3f}s total worker wall time"
+        ]
+        header = "worker    wall(s)  " + "".join(f"{p:>10}" for p in PHASES)
+        lines.append(header)
+        rows = [
+            (str(w.wid), w.wall_seconds, w.fractions()) for w in self.workers
+        ]
+        rows.append(("all", self.wall_seconds, self.aggregate_fractions()))
+        for name, wall, fr in rows:
+            cells = "".join(f"{fr[p]:>9.1%} " for p in PHASES)
+            lines.append(f"{name:>6}  {wall:>9.3f}  {cells}")
+        return "\n".join(lines)

@@ -420,6 +420,10 @@ class M:
     STAGE_BYTES_LOADED = "repro.stage.bytes_loaded"
     STAGE_LOAD_SECONDS = "repro.stage.load_seconds"
     STAGE_PREFETCH_WAIT_SECONDS = "repro.stage.prefetch_wait_seconds"
+    # cross-worker phase attribution (StallReport, repro.obs.profiler)
+    PROFILE_WALL_SECONDS = "repro.profile.wall_seconds"
+    PROFILE_PHASE_SECONDS = "repro.profile.phase_seconds"
+    PROFILE_PHASE_FRACTION = "repro.profile.phase_fraction"
     # resilience subsystem
     RESILIENCE_DEVICE_LOST = "repro.resilience.device_lost"
     RESILIENCE_BLOCKS_REBALANCED = "repro.resilience.blocks_rebalanced"

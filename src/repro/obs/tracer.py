@@ -42,6 +42,16 @@ class Tracer:
         self._origin = clock()
         self.events: list[dict] = []
         self._named_threads: set[tuple[int, int]] = set()
+        self._named_processes: set[int] = set()
+
+    @property
+    def origin(self) -> float:
+        """The raw clock reading that is this tracer's t=0. Hand it to
+        worker-side clocks (:class:`repro.obs.relay.WorkerTelemetry`) so
+        their timestamps land on this tracer's timeline —
+        ``time.perf_counter`` is CLOCK_MONOTONIC, one clock for every
+        process on the host."""
+        return self._origin
 
     # -- low-level emitters --------------------------------------------
     def add_span(
@@ -130,6 +140,23 @@ class Tracer:
                 "ts": 0,
                 "pid": pid,
                 "tid": tid,
+                "args": {"name": name},
+            }
+        )
+
+    def name_process(self, pid: int, name: str) -> None:
+        """Metadata event labelling a ``pid`` row, e.g. "proc 3"."""
+        if pid in self._named_processes:
+            return
+        self._named_processes.add(pid)
+        self.events.append(
+            {
+                "name": "process_name",
+                "cat": "__metadata",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": 0,
                 "args": {"name": name},
             }
         )

@@ -52,26 +52,44 @@ from repro.core.trainer import TrainHistory
 from repro.data.blockstore import BlockPrefetcher, BlockStore, PrefetchStats
 from repro.data.container import RatingMatrix
 from repro.metrics.rmse import rmse
+from repro.obs.context import active_tracer
 from repro.obs.hooks import EpochEvent, TrainerHooks, resolve_hooks
+from repro.obs.profiler import (
+    BARRIER_WAIT_BUCKETS,
+    StallReport,
+    WorkerPhases,
+)
+from repro.obs.relay import TraceRelay, WorkerTelemetry
 from repro.sched.plan import EpochPlan
 
 __all__ = ["ProcessHogwild"]
 
 #: Shared names with sanctioned cross-worker writes (the process-level
-#: analogue of the ``race-shared-write`` thread audit): ``counts`` and
-#: ``stage`` are write-disjoint shared arrays (one slot/row per worker id),
-#: ``ctl`` is written by the parent between barriers and only read by
-#: workers (except the error flag, last-writer-wins by design). P and Q
-#: races are the whole point of Hogwild! and happen inside the kernels.
-SHARED_WRITE_OK = ("counts", "ctl", "stage")
+#: analogue of the ``race-shared-write`` thread audit): ``counts``,
+#: ``stage``, and ``phases`` are write-disjoint shared arrays (one
+#: slot/row per worker id), ``ctl`` is written by the parent between
+#: barriers and only read by workers (except the error flag,
+#: last-writer-wins by design). P and Q races are the whole point of
+#: Hogwild! and happen inside the kernels.
+SHARED_WRITE_OK = ("counts", "ctl", "stage", "phases")
 
-#: control-array slots: command word, epoch hyperparameters, error flag
-_CTL_SLOTS = 5
-_CMD, _LR, _LAM_P, _LAM_Q, _ERR = range(_CTL_SLOTS)
+#: control-array slots: command word, epoch hyperparameters, error flag,
+#: current epoch number (for span labelling)
+_CTL_SLOTS = 6
+_CMD, _LR, _LAM_P, _LAM_Q, _ERR, _EPOCH = range(_CTL_SLOTS)
 _CMD_RUN, _CMD_EXIT = 0.0, 1.0
 
 #: columns of the per-worker staging-stats array
 _STAGE_FIELDS = 4  # blocks, bytes, load_seconds, wait_seconds
+
+#: columns of the per-worker phase-accounting array (the raw material of
+#: :class:`repro.obs.profiler.StallReport`). All slots are cumulative
+#: across epochs except EPOCH_BARRIER, which holds the *last* epoch's
+#: dispatch-barrier wait (read by the parent between barriers, where it is
+#: stable, to feed the per-worker barrier-wait histograms).
+_PHASE_FIELDS = 6
+(_PH_SPAWN, _PH_BARRIER, _PH_COMPUTE, _PH_PREFETCH, _PH_WALL,
+ _PH_EPOCH_BARRIER) = range(_PHASE_FIELDS)
 
 #: parent-side timeout for the completion barrier: generous enough for any
 #: realistic epoch, finite so a crashed worker surfaces as BrokenBarrierError
@@ -184,6 +202,7 @@ class _WorkerConfig:
     ctl_name: str = ""
     counts_name: str = ""
     stage_name: str = ""
+    phases_name: str = ""
     rows_name: str | None = None
     cols_name: str | None = None
     vals_name: str | None = None
@@ -204,10 +223,25 @@ class _WorkerConfig:
     max_wave: int = 256
     shuffle_each_epoch: bool = True
     seed_seq: object = None
+    # telemetry relay: when the parent traces, each worker spools spans to
+    # its own JSONL file against the parent tracer's clock origin
+    spool_path: str | None = None
+    trace_origin: float = 0.0
+    #: parent's perf_counter right before Process.start() — the zero point
+    #: of this worker's wall/spawn accounting (perf_counter is
+    #: CLOCK_MONOTONIC, comparable across processes on one host)
+    dispatched_at: float = 0.0
 
 
 def _worker_main(cfg: _WorkerConfig) -> None:
     """Worker process entry point: attach, then serve epochs until told to exit."""
+    t_entry = time.perf_counter()
+    born = cfg.dispatched_at or t_entry
+    telemetry = None
+    if cfg.spool_path is not None:
+        telemetry = WorkerTelemetry(
+            cfg.wid, origin=cfg.trace_origin, spool_path=cfg.spool_path
+        )
     shms = []
 
     def attach(name):
@@ -225,6 +259,8 @@ def _worker_main(cfg: _WorkerConfig) -> None:
                             buffer=attach(cfg.counts_name).buf)
         stage = np.ndarray((cfg.n_procs, _STAGE_FIELDS), dtype=np.float64,  # lint: fp64-accumulator -- wall-clock/byte accumulators
                            buffer=attach(cfg.stage_name).buf)
+        phases = np.ndarray((cfg.n_procs, _PHASE_FIELDS), dtype=np.float64,  # lint: fp64-accumulator -- wall-clock accumulators
+                            buffer=attach(cfg.phases_name).buf)
         ws = WaveWorkspace()
         wrng = np.random.default_rng(cfg.seed_seq)
         out_of_core = cfg.store_root is not None
@@ -247,42 +283,90 @@ def _worker_main(cfg: _WorkerConfig) -> None:
             shard_lengths = np.clip(
                 lengths - cfg.col_lo, 0, cfg.col_hi - cfg.col_lo
             ).tolist()
+        setup_done = time.perf_counter()
+        phases[cfg.wid, _PH_SPAWN] = setup_done - born
+        if telemetry is not None:
+            telemetry.add_span(
+                "spawn/attach", born - cfg.trace_origin, setup_done - born,
+                cat="spawn",
+            )
         while True:
+            t_b0 = time.perf_counter()
             cfg.start_barrier.wait()
+            t_b1 = time.perf_counter()
             if ctl[_CMD] == _CMD_EXIT:
                 return
+            epoch = int(ctl[_EPOCH])
+            phases[cfg.wid, _PH_EPOCH_BARRIER] = t_b1 - t_b0
+            phases[cfg.wid, _PH_BARRIER] += t_b1 - t_b0
+            if telemetry is not None:
+                telemetry.add_span(
+                    "barrier.dispatch", t_b0 - cfg.trace_origin, t_b1 - t_b0,
+                    cat="barrier", args={"epoch": epoch},
+                )
             lr = np.float32(ctl[_LR])
             lam_p = np.float32(ctl[_LAM_P])
             lam_q = np.float32(ctl[_LAM_Q])
             try:
+                t_c0 = time.perf_counter()
                 if out_of_core:
                     order = blocks
                     if cfg.shuffle_each_epoch and len(blocks) > 1:
                         perm = wrng.permutation(len(blocks))
                         order = [blocks[i] for i in perm]
                     prefetcher = BlockPrefetcher(
-                        store, order, depth=cfg.prefetch_depth
+                        store, order, depth=cfg.prefetch_depth,
+                        telemetry=telemetry,
                     )
                     n = _run_blocks(ws, prefetcher, model.p, model.q,
                                     lr, lam_p, lam_q, cfg.max_wave)
+                    compute_s = time.perf_counter() - t_c0
                     s = prefetcher.stats
                     stage[cfg.wid, 0] += s.blocks_loaded
                     stage[cfg.wid, 1] += s.bytes_loaded
                     stage[cfg.wid, 2] += s.load_seconds
                     stage[cfg.wid, 3] += s.wait_seconds
+                    # the block loop's wall time splits into prefetch stall
+                    # (consumer blocked on the loader) and true compute
+                    phases[cfg.wid, _PH_PREFETCH] += s.wait_seconds
+                    phases[cfg.wid, _PH_COMPUTE] += max(
+                        0.0, compute_s - s.wait_seconds
+                    )
                 else:
                     plan_view.version += 1
                     n = _run_shard(ws, plan_view, model.p, model.q,
                                    rows, cols, vals, shard_lengths,
                                    lr, lam_p, lam_q)
+                    compute_s = time.perf_counter() - t_c0
+                    phases[cfg.wid, _PH_COMPUTE] += compute_s
                 counts[cfg.wid] = n
+                if telemetry is not None:
+                    telemetry.add_span(
+                        f"epoch {epoch} compute", t_c0 - cfg.trace_origin,
+                        compute_s, cat="compute",
+                        args={"epoch": epoch, "updates": int(n)},
+                    )
             except BaseException:
                 ctl[_ERR] = float(cfg.wid + 1)
                 import traceback
 
                 traceback.print_exc()
+            t_d0 = time.perf_counter()
             cfg.done_barrier.wait()
+            t_d1 = time.perf_counter()
+            # written after the parent is released, but only read at close
+            # (completion-barrier wait: idle until the slowest sibling)
+            phases[cfg.wid, _PH_BARRIER] += t_d1 - t_d0
+            phases[cfg.wid, _PH_WALL] = t_d1 - born
+            if telemetry is not None:
+                telemetry.add_span(
+                    "barrier.complete", t_d0 - cfg.trace_origin, t_d1 - t_d0,
+                    cat="barrier", args={"epoch": epoch},
+                )
+                telemetry.flush()
     finally:
+        if telemetry is not None:
+            telemetry.flush()
         for shm in shms:
             shm.close()
 
@@ -304,6 +388,7 @@ class _SharedCluster:
         self.model: FactorModel | None = None
         self.plan_matrix = None
         self.ctl = self.counts = self.stage = None
+        self.phases = None
 
     # ------------------------------------------------------------------
     def _alloc(self, nbytes: int) -> shared_memory.SharedMemory:
@@ -327,10 +412,17 @@ class _SharedCluster:
         max_wave: int,
         shuffle_each_epoch: bool,
         seed: int,
+        relay: TraceRelay | None = None,
+        trace_origin: float = 0.0,
     ) -> FactorModel:
         """Copy the model (and data, in-memory mode) into shared segments
         and launch the worker pool. Returns the shared-memory-backed model
-        the parent should use from now on."""
+        the parent should use from now on.
+
+        ``relay`` (plus the parent tracer's ``trace_origin``) switches on
+        per-worker span spooling; phase accounting in the shared ``phases``
+        array is always on (a handful of ``perf_counter`` calls per epoch).
+        """
         m, n, k = model.m, model.n, model.k
         p_sh, p_name = self._shared_array((m, k), np.float32)
         q_sh, q_name = self._shared_array((n, k), np.float32)
@@ -345,6 +437,10 @@ class _SharedCluster:
             (self.n_procs, _STAGE_FIELDS), np.float64
         )
         self.stage[:] = 0.0
+        self.phases, phases_name = self._shared_array(
+            (self.n_procs, _PHASE_FIELDS), np.float64
+        )
+        self.phases[:] = 0.0
         self.start_barrier = self.ctx.Barrier(self.n_procs + 1)
         self.done_barrier = self.ctx.Barrier(self.n_procs + 1)
 
@@ -357,6 +453,8 @@ class _SharedCluster:
             ctl_name=ctl_name,
             counts_name=counts_name,
             stage_name=stage_name,
+            phases_name=phases_name,
+            trace_origin=trace_origin,
             m=m,
             n=n,
             k=k,
@@ -402,17 +500,20 @@ class _SharedCluster:
             else:
                 shard = shards[wid]
                 cfg.col_lo, cfg.col_hi = shard.col_lo, shard.col_hi
+            if relay is not None:
+                cfg.spool_path = str(relay.spool_path(wid))
             proc = self.ctx.Process(
                 target=_worker_main, args=(cfg,), name=f"hogwild-proc-{wid}",
                 daemon=True,
             )
+            cfg.dispatched_at = time.perf_counter()
             proc.start()
             self._procs.append(proc)
         return self.model
 
     # ------------------------------------------------------------------
     def run_epoch(self, plan: EpochPlan | None, lr: float,
-                  lam_p: float, lam_q: float) -> int:
+                  lam_p: float, lam_q: float, epoch: int = 0) -> int:
         """Dispatch one epoch to the pool and wait for completion."""
         if plan is not None:
             np.copyto(self.plan_matrix, plan.matrix)
@@ -421,6 +522,7 @@ class _SharedCluster:
         self.ctl[_LAM_P] = float(lam_p)
         self.ctl[_LAM_Q] = float(lam_q)
         self.ctl[_ERR] = 0.0
+        self.ctl[_EPOCH] = float(epoch)
         t0 = time.perf_counter()
         self.start_barrier.wait(timeout=_EPOCH_TIMEOUT_S)
         self.barrier_wait_seconds += time.perf_counter() - t0
@@ -434,6 +536,20 @@ class _SharedCluster:
 
     def worker_updates(self) -> list[int]:
         return [int(c) for c in self.counts]
+
+    def epoch_barrier_waits(self) -> list[float]:
+        """Per-worker dispatch-barrier wait of the epoch that just ran.
+
+        Safe between barriers: workers write the slot before computing and
+        the parent reads after the completion barrier released."""
+        return [float(w) for w in self.phases[:, _PH_EPOCH_BARRIER]]
+
+    def phase_totals(self) -> np.ndarray:
+        """Copy of the per-worker phase accumulators (rows: worker id,
+        columns: the ``_PH_*`` fields)."""
+        if self.phases is None:
+            return np.zeros((self.n_procs, _PHASE_FIELDS))
+        return np.array(self.phases)
 
     def stage_stats(self) -> PrefetchStats:
         totals = self.stage.sum(axis=0)
@@ -470,6 +586,7 @@ class _SharedCluster:
             self.model = None
         self.plan_matrix = None
         self.ctl = self.counts = self.stage = None
+        self.phases = None
         for shm in self._segments:
             try:
                 shm.close()
@@ -507,6 +624,13 @@ class ProcessHogwild:
     start_method:
         ``multiprocessing`` start method; default prefers ``fork`` (cheap
         worker launch) and falls back to the platform default.
+    profile:
+        Controls per-worker span spooling (the trace relay). ``None``
+        (default) spools whenever an ambient tracer is active
+        (:func:`repro.obs.context.activate`); ``False`` never spools.
+        Phase accounting — the :class:`~repro.obs.profiler.StallReport` on
+        :attr:`stall_report` after :meth:`fit` — is always on; it costs a
+        handful of clock reads per worker per epoch.
 
     Non-deterministic for ``n_procs > 1`` (real cross-process races); use
     the deterministic simulators for reproducibility-sensitive experiments.
@@ -526,6 +650,7 @@ class ProcessHogwild:
         store: BlockStore | None = None,
         prefetch_depth: int = 2,
         start_method: str | None = None,
+        profile: bool | None = None,
     ) -> None:
         if min(k, n_procs, workers, f) <= 0:
             raise ValueError("k, n_procs, workers, f must be positive")
@@ -545,12 +670,18 @@ class ProcessHogwild:
         self.store = store
         self.prefetch_depth = prefetch_depth
         self.start_method = start_method
+        self.profile = profile
         self.model: FactorModel | None = None
         self.history: TrainHistory | None = None
         #: updates each worker performed in the last epoch
         self.worker_updates: list[int] = []
         self.stage_stats: PrefetchStats | None = None
         self.barrier_wait_seconds = 0.0
+        #: phase attribution of the last :meth:`fit` (set even on error
+        #: paths once workers have run)
+        self.stall_report: StallReport | None = None
+        #: per-epoch, per-worker dispatch-barrier waits of the last fit
+        self._barrier_waits: list[list[float]] = []
 
     # ------------------------------------------------------------------
     def fit(
@@ -591,20 +722,33 @@ class ProcessHogwild:
         history = TrainHistory()
         total_updates = [0] * self.n_procs
         epochs_run = 0
+        self._barrier_waits = []
+        self.stall_report = None
+        tracer = active_tracer()
+        relay = None
+        if tracer is not None and self.profile is not False:
+            import tempfile
+
+            relay = TraceRelay(tempfile.mkdtemp(prefix="cumf-relay-"))
         try:
             model = cluster.start(
                 init, plan, train, self.store, self.prefetch_depth,
                 self.f, self.shuffle_each_epoch, self.seed,
+                relay=relay,
+                trace_origin=tracer.origin if tracer is not None else 0.0,
             )
             for epoch in range(epochs):
                 if epoch and plan is not None and self.shuffle_each_epoch:
                     plan.repermute(rng)
                 lr = self.schedule(epoch)
                 t0 = time.perf_counter()
-                n_upd = cluster.run_epoch(plan, lr, self.lam, self.lam)
+                n_upd = cluster.run_epoch(
+                    plan, lr, self.lam, self.lam, epoch=epoch + 1
+                )
                 seconds = time.perf_counter() - t0
                 epochs_run += 1
                 self.worker_updates = cluster.worker_updates()
+                self._barrier_waits.append(cluster.epoch_barrier_waits())
                 for wid, c in enumerate(self.worker_updates):
                     total_updates[wid] += c
                 t1 = time.perf_counter()
@@ -625,6 +769,9 @@ class ProcessHogwild:
                                 "n_procs": self.n_procs,
                                 "worker_updates": list(self.worker_updates),
                                 "out_of_core": self.store is not None,
+                                "barrier_wait_seconds": float(
+                                    sum(self._barrier_waits[-1])
+                                ),
                             },
                         )
                     )
@@ -634,13 +781,39 @@ class ProcessHogwild:
             self.barrier_wait_seconds = cluster.barrier_wait_seconds
             if self.store is not None:
                 self.stage_stats = cluster.stage_stats()
+            phase_totals = cluster.phase_totals()
             shm_bytes = cluster.shm_bytes
             self.model = cluster.close()
+            if epochs_run:
+                self.stall_report = self._build_stall_report(phase_totals)
+            if relay is not None:
+                # workers have flushed and exited (close() joins them);
+                # replay their spools onto the parent's timeline
+                relay.merge_into(tracer, label="proc")
+                relay.cleanup()
         self.history = history
         self._publish(total_updates, epochs_run, shm_bytes)
         return history
 
     # ------------------------------------------------------------------
+    def _build_stall_report(self, totals: np.ndarray) -> StallReport:
+        """Fold the shared phase accumulators into a :class:`StallReport`."""
+        workers = [
+            WorkerPhases(
+                wid=wid,
+                wall_seconds=float(totals[wid, _PH_WALL]),
+                seconds={
+                    "spawn": float(totals[wid, _PH_SPAWN]),
+                    "barrier": float(totals[wid, _PH_BARRIER]),
+                    "compute": float(totals[wid, _PH_COMPUTE]),
+                    "prefetch": float(totals[wid, _PH_PREFETCH]),
+                },
+            )
+            for wid in range(self.n_procs)
+        ]
+        executor = "procs_ooc" if self.store is not None else "procs"
+        return StallReport(executor, workers)
+
     def _publish(self, total_updates: list[int], epochs_run: int,
                  shm_bytes: int) -> None:
         """Accumulate ``repro.proc.*`` (and staging) metrics into the
@@ -654,13 +827,21 @@ class ProcessHogwild:
         registry.gauge(M.PROC_WORKERS).set(self.n_procs)
         registry.gauge(M.PROC_SHM_BYTES).set(shm_bytes)
         registry.counter(M.PROC_EPOCHS).inc(epochs_run)
-        registry.counter(M.PROC_BARRIER_WAIT_SECONDS).inc(
-            self.barrier_wait_seconds
-        )
+        # one histogram per worker id: stragglers hide in an aggregate, so
+        # each worker's per-epoch dispatch-barrier wait lands in its own
+        # labeled family member
+        for waits in self._barrier_waits:
+            for wid, wait in enumerate(waits):
+                registry.histogram(
+                    M.PROC_BARRIER_WAIT_SECONDS, BARRIER_WAIT_BUCKETS,
+                    {"worker": wid},
+                ).observe(wait)
         for wid, count in enumerate(total_updates):
             registry.counter(
                 M.PROC_WORKER_UPDATES, {"worker": wid}
             ).inc(count)
+        if self.stall_report is not None:
+            self.stall_report.publish(registry)
         if self.stage_stats is not None:
             self.stage_stats.publish()
 

@@ -36,22 +36,26 @@ from repro.core.model import FactorModel
 from repro.core.trainer import TrainHistory
 from repro.data.container import RatingMatrix
 from repro.metrics.rmse import rmse
+from repro.obs.context import active_tracer
 from repro.obs.hooks import (
     EpochEvent,
     KernelEvent,
     TrainerHooks,
     resolve_hooks,
 )
+from repro.obs.profiler import StallReport, WorkerPhases
+from repro.obs.relay import THREAD_TID_BASE, WorkerTelemetry, merge_records
+from repro.obs.tracer import WALL_PID
 from repro.sched.plan import SerialPlan
 
 __all__ = ["ThreadedHogwild"]
 
 #: Shared names worker threads may legitimately mutate, audited by the
-#: ``race-shared-write`` lint pass. ``counts`` and ``waves`` are
-#: write-disjoint (one slot per thread id) and ``errors`` relies on
-#: list.append being atomic under the GIL. P and Q races are the whole point
-#: of Hogwild! and happen inside the kernel.
-SHARED_WRITE_OK = ("counts", "waves", "errors")
+#: ``race-shared-write`` lint pass. ``counts``, ``waves``, ``phase_secs``,
+#: ``walls``, and ``tele`` are write-disjoint (one slot per thread id) and
+#: ``errors`` relies on list.append being atomic under the GIL. P and Q
+#: races are the whole point of Hogwild! and happen inside the kernel.
+SHARED_WRITE_OK = ("counts", "waves", "errors", "phase_secs", "walls", "tele")
 
 
 def _replay_shard(ws, p, q, rows, cols, vals, starts, stops, lr, lam_p, lam_q):
@@ -107,6 +111,8 @@ class ThreadedHogwild:
         #: number of updates each thread performed in the last epoch
         self.thread_updates: list[int] = []
         self._workspaces: list[WaveWorkspace] = []
+        #: phase attribution of the last :meth:`fit`
+        self.stall_report: StallReport | None = None
 
     # ------------------------------------------------------------------
     def _epoch(
@@ -116,6 +122,10 @@ class ThreadedHogwild:
         order: np.ndarray,
         lr: float,
         hooks: TrainerHooks,
+        epoch: int,
+        tele: list[WorkerTelemetry] | None,
+        phase_secs: list[dict],
+        walls: list[float],
     ) -> int:
         shards = np.array_split(order, self.n_threads)
         counts = [0] * self.n_threads
@@ -123,22 +133,43 @@ class ThreadedHogwild:
         errors: list[BaseException] = []
         lr32 = np.float32(lr)
         lam32 = np.float32(self.lam)
+        dispatched = time.perf_counter()
 
         def work(tid: int, idx: np.ndarray) -> None:
             try:
+                t_entry = time.perf_counter()
                 # shard gather + plan compile happen once per epoch (cold);
                 # the replay itself is the registered hot loop
                 rows = train.rows[idx]
                 cols = train.cols[idx]
                 vals = train.vals[idx]
                 plan = SerialPlan.compile(rows, cols, self.intra_batch)
+                t_c0 = time.perf_counter()
                 _replay_shard(
                     self._workspaces[tid], model.p, model.q, rows, cols, vals,
                     plan.starts.tolist(), plan.stops.tolist(),
                     lr32, lam32, lam32,
                 )
+                t_c1 = time.perf_counter()
                 counts[tid] = plan.n_samples
                 waves[tid] = plan.n_waves
+                # write-disjoint phase accounting: spawn = dispatch-to-entry
+                # latency, compute = kernel replay; gather/compile falls out
+                # as the StallReport's replay residual
+                phase_secs[tid]["spawn"] += t_entry - dispatched
+                phase_secs[tid]["compute"] += t_c1 - t_c0
+                walls[tid] += t_c1 - dispatched
+                if tele is not None:
+                    wt = tele[tid]
+                    wt.add_span(
+                        f"epoch {epoch} compile", t_entry - wt.origin,
+                        t_c0 - t_entry, cat="replay", args={"epoch": epoch},
+                    )
+                    wt.add_span(
+                        f"epoch {epoch} compute", t_c0 - wt.origin,
+                        t_c1 - t_c0, cat="compute",
+                        args={"epoch": epoch, "updates": plan.n_samples},
+                    )
             except BaseException as exc:  # pragma: no cover - defensive
                 errors.append(exc)
 
@@ -184,11 +215,25 @@ class ThreadedHogwild:
         order = rng.permutation(train.nnz)
         history = TrainHistory()
         total_updates = [0] * self.n_threads
+        tracer = active_tracer()
+        tele = None
+        if tracer is not None:
+            tele = [
+                WorkerTelemetry(tid, origin=tracer.origin)
+                for tid in range(self.n_threads)
+            ]
+        phase_secs = [
+            {"spawn": 0.0, "compute": 0.0} for _ in range(self.n_threads)
+        ]
+        walls = [0.0] * self.n_threads
         for epoch in range(epochs):
             rng.shuffle(order)
             lr = self.schedule(epoch)
             t0 = time.perf_counter()
-            n = self._epoch(self.model, train, order, lr, hooks)
+            n = self._epoch(
+                self.model, train, order, lr, hooks, epoch + 1,
+                tele, phase_secs, walls,
+            )
             seconds = time.perf_counter() - t0
             for tid, c in enumerate(self.thread_updates):
                 total_updates[tid] += c
@@ -212,6 +257,23 @@ class ThreadedHogwild:
             if target_rmse is not None and te is not None and te <= target_rmse:
                 break
         self.history = history
+        if tele is not None:
+            merge_records(
+                tracer,
+                [rec for wt in tele for rec in wt.drain()],
+                label="thread", pid=WALL_PID, tid_base=THREAD_TID_BASE,
+            )
+        self.stall_report = StallReport(
+            "threads",
+            [
+                WorkerPhases(
+                    wid=tid,
+                    wall_seconds=walls[tid],
+                    seconds=dict(phase_secs[tid]),
+                )
+                for tid in range(self.n_threads)
+            ],
+        )
         self._publish(total_updates)
         return history
 
@@ -228,6 +290,8 @@ class ThreadedHogwild:
             registry.counter(
                 M.THREAD_WORKER_UPDATES, {"thread": tid}
             ).inc(count)
+        if self.stall_report is not None:
+            self.stall_report.publish(registry)
 
     def score(self, ratings: RatingMatrix) -> float:
         if self.model is None:

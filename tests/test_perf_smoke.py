@@ -56,9 +56,12 @@ class TestBenchHotPathSmoke:
             "benchmark": "hot_path",
             "schema_version": bench.SCHEMA_VERSION,
             "config": dict(bench.QUICK_CONFIG),
+            "meta": {"git_sha": "abc123def456", "timestamp_utc": "t",
+                     "hostname": "h", "cpu_count": 4},
             "metrics": {
                 "epoch_seconds": 0.1, "naive_epoch_seconds": 0.2,
                 "speedup": 2.0, "updates_per_sec": 1e6,
+                "profiler_overhead": 0.01,
                 "plan_compiles": 1, "plan_repermutes": 1,
                 "workspace_allocations": 2, "workspace_bytes": 1024,
             },
@@ -73,6 +76,11 @@ class TestBenchHotPathSmoke:
             lambda d: d["metrics"].update(speedup=-1.0),
             lambda d: d["metrics"].update(plan_compiles=1.5),
             lambda d: d["metrics"].pop("updates_per_sec"),
+            lambda d: d["metrics"].pop("profiler_overhead"),
+            # the 5% budget is part of the schema contract
+            lambda d: d["metrics"].update(profiler_overhead=0.5),
+            lambda d: d.pop("meta"),
+            lambda d: d["meta"].pop("git_sha"),
         ):
             bad = json.loads(json.dumps(good))
             mutate(bad)
@@ -111,18 +119,33 @@ class TestBenchParallelSmoke:
         on_disk = json.loads(out.read_text())
         assert on_disk == doc
 
+    @staticmethod
+    def _stall_report(executor: str) -> dict:
+        from repro.obs.profiler import StallReport, WorkerPhases
+
+        return StallReport(
+            executor,
+            [WorkerPhases(wid=w, wall_seconds=1.0,
+                          seconds={"compute": 0.8, "barrier": 0.1})
+             for w in range(2)],
+        ).as_dict()
+
     def test_validate_rejects_malformed_documents(self, bench_par):
         metrics = {"cpu_count": 4}
         for key in bench_par.VARIANTS:
             metrics[f"{key}_epoch_seconds"] = 0.1
             metrics[f"{key}_updates_per_sec"] = 1e6
         metrics.update(threads_vs_serial=1.5, procs_vs_serial=2.0,
-                       ooc_overhead=1.2)
+                       ooc_vs_procs=0.9, ooc_overhead=0.9)
         good = {
             "benchmark": "parallel",
             "schema_version": bench_par.SCHEMA_VERSION,
             "config": dict(bench_par.QUICK_CONFIG),
+            "meta": {"git_sha": "abc123def456", "timestamp_utc": "t",
+                     "hostname": "h", "cpu_count": 4},
             "metrics": metrics,
+            "stall_report": self._stall_report("procs"),
+            "stall_report_ooc": self._stall_report("procs_ooc"),
             "bit_identical": True,
         }
         bench_par.validate_result(good)
@@ -133,12 +156,41 @@ class TestBenchParallelSmoke:
             lambda d: d["config"].update(n_procs=0),
             lambda d: d["metrics"].update(procs_vs_serial=0),
             lambda d: d["metrics"].update(cpu_count=1.5),
-            lambda d: d["metrics"].pop("ooc_overhead"),
+            lambda d: d["metrics"].pop("ooc_vs_procs"),
+            # the deprecated alias must track the canonical value
+            lambda d: d["metrics"].update(ooc_overhead=2.0),
+            lambda d: d.pop("meta"),
+            lambda d: d["meta"].pop("hostname"),
+            lambda d: d.pop("stall_report"),
+            lambda d: d.pop("stall_report_ooc"),
+            lambda d: d["stall_report"].update(executor="threads"),
+            lambda d: d["stall_report"]["workers"].clear(),
+            # fractions must sum to 1 ± 0.02 per worker
+            lambda d: d["stall_report"]["workers"][0]["fractions"].update(
+                compute=0.2),
         ):
             bad = json.loads(json.dumps(good))
             mutate(bad)
             with pytest.raises(ValueError, match="invalid BENCH_parallel"):
                 bench_par.validate_result(bad)
+
+    def test_quick_document_stall_reports(self, bench_par, tmp_path):
+        """The emitted document embeds per-worker phase attribution whose
+        fractions sum to 1 — the acceptance invariant."""
+        import math
+
+        out = tmp_path / "BENCH_parallel.json"
+        doc = bench_par.main(["--quick", "--out", str(out)])
+        for key, executor in (("stall_report", "procs"),
+                              ("stall_report_ooc", "procs_ooc")):
+            report = doc[key]
+            assert report["executor"] == executor
+            assert len(report["workers"]) == bench_par.QUICK_CONFIG["n_procs"]
+            for w in report["workers"]:
+                total = math.fsum(w["fractions"][p] for p in report["phases"])
+                assert abs(total - 1.0) <= 0.02
+        # the rename kept the deprecated alias in lockstep
+        assert doc["metrics"]["ooc_overhead"] == doc["metrics"]["ooc_vs_procs"]
 
     def test_default_out_is_repo_root(self, bench_par):
         assert bench_par.DEFAULT_OUT == BENCHMARKS.parent / "BENCH_parallel.json"

@@ -1,0 +1,447 @@
+"""Cross-worker profiling: trace relay, stall attribution, perf ledger.
+
+Covers the observability additions around the parallel executors:
+
+* `repro.obs.relay` — per-worker span spools, torn-line crash tolerance,
+  deterministic multi-pid merge into one Chrome trace;
+* `repro.obs.profiler` — the StallReport phase taxonomy (fractions sum to
+  1 by construction), serialization round-trip, `repro.profile.*`
+  publication;
+* `repro.obs.ledger` — provenance stamps, config-matched baselines, and
+  the >15% `perf-diff` regression gate (plus its CLI exit codes);
+* the executor wiring — a `ProcessHogwild` fit under a collector yields
+  one schema-valid trace with >= n_procs+1 lanes, per-worker barrier-wait
+  histograms, and an embedded-able stall report.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    TelemetryCollector,
+    activate,
+    validate_chrome_trace,
+)
+from repro.obs.ledger import (
+    PerfLedger,
+    bench_meta,
+    git_sha,
+    perf_diff,
+)
+from repro.obs.profiler import PHASES, PhaseTimer, StallReport, WorkerPhases
+from repro.obs.registry import METRIC_MANIFEST, M, MetricsRegistry
+from repro.obs.relay import (
+    THREAD_TID_BASE,
+    WORKER_PID_BASE,
+    TraceRelay,
+    WorkerTelemetry,
+    merge_records,
+    read_spool,
+)
+from repro.obs.tracer import WALL_PID, Tracer
+
+pytestmark = pytest.mark.obs
+
+
+# ---------------------------------------------------------------------------
+# relay: spools, crash tolerance, merge
+# ---------------------------------------------------------------------------
+class TestWorkerTelemetry:
+    def test_spool_round_trip(self, tmp_path):
+        spool = tmp_path / "worker_0000.jsonl"
+        wt = WorkerTelemetry(3, origin=0.0, spool_path=spool)
+        wt.add_span("epoch 1 compute", 0.5, 0.25, args={"updates": 10})
+        wt.instant("mark", 0.6)
+        wt.counter("repro.test", {"v": 1.0}, ts_seconds=0.7)
+        assert wt.flush() == 3
+        assert wt.records == []  # buffer cleared
+        records, corrupt = read_spool(spool)
+        assert corrupt == 0
+        assert [r["kind"] for r in records] == ["span", "instant", "counter"]
+        assert records[0]["wid"] == 3
+        assert records[0]["dur"] == 0.25
+
+    def test_flush_appends_across_calls(self, tmp_path):
+        spool = tmp_path / "w.jsonl"
+        wt = WorkerTelemetry(0, spool_path=spool)
+        wt.add_span("a", 0.0, 0.1)
+        wt.flush()
+        wt.add_span("b", 0.2, 0.1)
+        wt.flush()
+        records, _ = read_spool(spool)
+        assert [r["name"] for r in records] == ["a", "b"]
+
+    def test_in_memory_mode_drain(self):
+        wt = WorkerTelemetry(1)
+        wt.add_span("x", 0.0, 0.1)
+        assert wt.flush() == 0  # no spool path: flush is a no-op
+        drained = wt.drain()
+        assert len(drained) == 1
+        assert wt.records == []
+
+    def test_torn_tail_line_is_tolerated(self, tmp_path):
+        """A worker killed mid-write leaves a truncated final line; the
+        spool must still yield every complete record."""
+        spool = tmp_path / "w.jsonl"
+        wt = WorkerTelemetry(0, spool_path=spool)
+        for i in range(4):
+            wt.add_span(f"span {i}", float(i), 0.5)
+        wt.flush()
+        text = spool.read_text()
+        spool.write_text(text + '{"wid": 0, "kind": "span", "name": "to')
+        records, corrupt = read_spool(spool)
+        assert len(records) == 4
+        assert corrupt == 1
+
+    def test_missing_spool_reads_empty(self, tmp_path):
+        records, corrupt = read_spool(tmp_path / "never_written.jsonl")
+        assert records == [] and corrupt == 0
+
+
+class TestMergeRecords:
+    def _records(self):
+        return [
+            {"wid": 1, "kind": "span", "name": "late", "ts": 2.0, "dur": 0.5},
+            {"wid": 0, "kind": "span", "name": "early", "ts": 1.0, "dur": 0.5},
+            {"wid": 1, "kind": "span", "name": "first", "ts": 0.5, "dur": 0.1},
+        ]
+
+    def test_process_layout_lanes_and_ordering(self):
+        tracer = Tracer()
+        n = merge_records(tracer, self._records(), label="proc")
+        assert n == 3
+        events = tracer.to_chrome()["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        # lane metadata first (sorted wids), then events sorted by (ts, wid)
+        assert events[: len(meta)] == meta
+        pids = [e["pid"] for e in spans]
+        assert pids == [WORKER_PID_BASE + 1, WORKER_PID_BASE, WORKER_PID_BASE + 1]
+        assert [e["name"] for e in spans] == ["first", "early", "late"]
+        named = {
+            (e["pid"], e["args"]["name"])
+            for e in meta if e["name"] == "process_name"
+        }
+        assert named == {(WORKER_PID_BASE, "proc 0"), (WORKER_PID_BASE + 1, "proc 1")}
+
+    def test_thread_layout_shares_parent_pid(self):
+        tracer = Tracer()
+        merge_records(
+            tracer, self._records(), label="thread",
+            pid=WALL_PID, tid_base=THREAD_TID_BASE,
+        )
+        spans = [e for e in tracer.to_chrome()["traceEvents"] if e["ph"] == "X"]
+        assert {e["pid"] for e in spans} == {WALL_PID}
+        assert {e["tid"] for e in spans} == {THREAD_TID_BASE, THREAD_TID_BASE + 1}
+
+    def test_rejects_both_layouts_at_once(self):
+        with pytest.raises(ValueError, match="at most one"):
+            merge_records(Tracer(), [], pid_base=200, pid=1)
+
+    def test_negative_timestamps_clamped(self):
+        tracer = Tracer()
+        merge_records(
+            tracer,
+            [{"wid": 0, "kind": "span", "name": "pre", "ts": -0.5, "dur": 0.1}],
+        )
+        trace = tracer.to_chrome()
+        validate_chrome_trace(trace)  # schema rejects ts < 0
+        span = [e for e in trace["traceEvents"] if e["ph"] == "X"][0]
+        assert span["ts"] == 0
+
+    def test_relay_merges_all_spools(self, tmp_path):
+        relay = TraceRelay(tmp_path / "spools")
+        for wid in (0, 2):
+            wt = relay.worker_telemetry(wid)
+            wt.add_span(f"work {wid}", 0.1 * (wid + 1), 0.05)
+            wt.flush()
+        # sabotage one spool with a torn line
+        with relay.spool_path(2).open("a") as fh:
+            fh.write('{"wid": 2, "kind"')
+        tracer = Tracer()
+        assert relay.merge_into(tracer) == 2
+        assert relay.corrupt_lines == 1
+        validate_chrome_trace(tracer.to_chrome())
+        relay.cleanup()
+        assert not (tmp_path / "spools").exists()
+
+
+class TestTracerLaneNaming:
+    def test_name_process_emits_deduped_metadata(self):
+        tracer = Tracer()
+        tracer.name_process(200, "proc 0")
+        tracer.name_process(200, "proc 0")  # dedup
+        tracer.name_thread(200, 0, "proc:0")
+        meta = [
+            e for e in tracer.to_chrome()["traceEvents"]
+            if e["name"] == "process_name"
+        ]
+        assert len(meta) == 1
+        assert meta[0]["pid"] == 200 and meta[0]["args"]["name"] == "proc 0"
+        validate_chrome_trace(tracer.to_chrome())
+
+    def test_origin_is_raw_clock_value(self):
+        import time
+
+        before = time.perf_counter()
+        tracer = Tracer()
+        after = time.perf_counter()
+        assert before <= tracer.origin <= after
+
+
+# ---------------------------------------------------------------------------
+# profiler: taxonomy, report invariants, publication
+# ---------------------------------------------------------------------------
+class TestStallReport:
+    def _report(self):
+        return StallReport(
+            "procs",
+            [
+                WorkerPhases(0, 2.0, {"compute": 1.2, "barrier": 0.4,
+                                      "spawn": 0.2}),
+                WorkerPhases(1, 2.0, {"compute": 1.6, "barrier": 0.1,
+                                      "prefetch": 0.2}),
+            ],
+        )
+
+    def test_fractions_sum_to_one_with_replay_residual(self):
+        report = self._report()
+        for w in report.workers:
+            att = w.attributed()
+            assert att["replay"] == pytest.approx(
+                w.wall_seconds - sum(
+                    v for p, v in att.items() if p != "replay"
+                )
+            )
+            assert math.fsum(w.fractions().values()) == pytest.approx(1.0)
+        assert math.fsum(report.aggregate_fractions().values()) == (
+            pytest.approx(1.0)
+        )
+
+    def test_overcommitted_worker_stretches_denominator(self):
+        """Measured > wall (overlapping instrumentation): fractions still
+        sum to 1, replay clamps at 0."""
+        w = WorkerPhases(0, 1.0, {"compute": 0.9, "barrier": 0.4})
+        att = w.attributed()
+        assert att["replay"] == 0.0
+        assert math.fsum(w.fractions().values()) == pytest.approx(1.0)
+
+    def test_round_trip_and_validate(self):
+        state = self._report().as_dict()
+        StallReport.validate_dict(state)
+        again = StallReport.from_dict(state)
+        assert again.as_dict() == state
+        bad = json.loads(json.dumps(state))
+        bad["workers"][0]["fractions"]["compute"] = 0.0
+        with pytest.raises(ValueError, match="fractions sum"):
+            StallReport.validate_dict(bad)
+
+    def test_phase_timer_accumulates(self):
+        ticks = iter([0.0, 1.0, 1.0, 1.5])
+        timer = PhaseTimer(clock=lambda: next(ticks))
+        with timer.phase("barrier"):
+            pass
+        with timer.phase("compute"):
+            pass
+        assert timer.seconds["barrier"] == pytest.approx(1.0)
+        assert timer.seconds["compute"] == pytest.approx(0.5)
+
+    def test_publish_emits_profile_family(self):
+        registry = MetricsRegistry()
+        self._report().publish(registry)
+        walls = registry.family(M.PROFILE_WALL_SECONDS)
+        assert {dict(m.labels)["worker"] for m in walls} == {"0", "1", "all"}
+        for phase in PHASES:
+            assert registry.value(
+                M.PROFILE_PHASE_FRACTION,
+                {"executor": "procs", "worker": "all", "phase": phase},
+            ) >= 0.0
+
+    def test_profile_names_in_manifest(self):
+        for name in (M.PROFILE_WALL_SECONDS, M.PROFILE_PHASE_SECONDS,
+                     M.PROFILE_PHASE_FRACTION):
+            assert name in METRIC_MANIFEST
+            assert name.startswith("repro.profile.")
+
+
+# ---------------------------------------------------------------------------
+# executor wiring: multi-lane traces + per-worker metrics from a real fit
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def procs_profiled_run(tiny_problem):
+    from repro.parallel.procs import ProcessHogwild
+
+    collector = TelemetryCollector(run_label="profiled-procs")
+    est = ProcessHogwild(k=8, n_procs=2, lam=0.05, seed=0, workers=16, f=32)
+    with activate(collector):
+        est.fit(tiny_problem.train, epochs=2)
+    return est, collector
+
+
+class TestProcsProfiling:
+    def test_single_trace_with_worker_lanes(self, procs_profiled_run):
+        est, collector = procs_profiled_run
+        trace = collector.tracer.to_chrome()
+        validate_chrome_trace(trace)
+        lanes = {
+            (e.get("pid"), e.get("tid"))
+            for e in trace["traceEvents"] if e.get("ph") != "M"
+        }
+        # the trainer wall lane + one pid lane per worker process
+        assert len(lanes) >= est.n_procs + 1
+        for wid in range(est.n_procs):
+            assert (WORKER_PID_BASE + wid, 0) in lanes
+
+    def test_stall_report_fractions(self, procs_profiled_run):
+        est, _ = procs_profiled_run
+        report = est.stall_report
+        assert report is not None and report.executor == "procs"
+        assert len(report.workers) == est.n_procs
+        StallReport.validate_dict(report.as_dict())
+        # epochs ran compute, so it can't be all residual
+        assert report.aggregate_seconds()["compute"] > 0.0
+
+    def test_barrier_wait_histogram_per_worker(self, procs_profiled_run):
+        """Regression: barrier waits must stay per-worker labeled — one
+        histogram per worker id, not one shared aggregate."""
+        est, collector = procs_profiled_run
+        family = collector.registry.family(M.PROC_BARRIER_WAIT_SECONDS)
+        workers = {dict(m.labels)["worker"] for m in family}
+        assert workers == {str(w) for w in range(est.n_procs)}
+        for metric in family:
+            assert metric.kind == "histogram"
+            # one observation per epoch per worker
+            assert metric.total == 2
+
+    def test_threads_report_and_lanes(self, tiny_problem):
+        from repro.parallel.threads import ThreadedHogwild
+
+        collector = TelemetryCollector(run_label="profiled-threads")
+        est = ThreadedHogwild(k=8, n_threads=2, lam=0.05, seed=0)
+        with activate(collector):
+            est.fit(tiny_problem.train, epochs=2)
+        assert est.stall_report is not None
+        assert est.stall_report.executor == "threads"
+        StallReport.validate_dict(est.stall_report.as_dict())
+        trace = collector.tracer.to_chrome()
+        validate_chrome_trace(trace)
+        lanes = {
+            (e.get("pid"), e.get("tid"))
+            for e in trace["traceEvents"] if e.get("ph") != "M"
+        }
+        for tid in range(est.n_threads):
+            assert (WALL_PID, THREAD_TID_BASE + tid) in lanes
+
+
+# ---------------------------------------------------------------------------
+# ledger + perf-diff
+# ---------------------------------------------------------------------------
+def _doc(updates_per_sec=1e6, speedup=2.0, config=None, benchmark="hot_path"):
+    return {
+        "benchmark": benchmark,
+        "schema_version": 2,
+        "config": dict(config or {"nnz": 1000, "k": 8}),
+        "metrics": {
+            "updates_per_sec": updates_per_sec,
+            "speedup": speedup,
+            "epoch_seconds": 0.1,  # not gated
+        },
+    }
+
+
+class TestPerfLedger:
+    def test_append_stamps_meta_and_round_trips(self, tmp_path):
+        ledger = PerfLedger(tmp_path / "ledger.jsonl")
+        doc = _doc()
+        entry = ledger.append(doc)
+        assert "meta" not in doc  # source not mutated
+        for key in ("git_sha", "timestamp_utc", "hostname", "cpu_count"):
+            assert key in entry["meta"]
+        assert ledger.entries() == [entry]
+
+    def test_bench_meta_sha_matches_git(self):
+        meta = bench_meta()
+        assert meta["git_sha"] == git_sha()
+        assert meta["cpu_count"] >= 1
+
+    def test_baseline_requires_matching_config(self, tmp_path):
+        ledger = PerfLedger(tmp_path / "ledger.jsonl")
+        quick = _doc(config={"nnz": 10})
+        reference = _doc(config={"nnz": 1000})
+        ledger.append(reference)
+        assert ledger.baseline(quick) is None  # quick never gates vs ref
+        base = ledger.baseline(reference)
+        assert base is not None and base["config"] == {"nnz": 1000}
+
+    def test_latest_comparable_entry_wins(self, tmp_path):
+        ledger = PerfLedger(tmp_path / "ledger.jsonl")
+        ledger.append(_doc(updates_per_sec=1e6))
+        ledger.append(_doc(updates_per_sec=2e6))
+        base = ledger.baseline(_doc())
+        assert base["metrics"]["updates_per_sec"] == 2e6
+
+    def test_torn_ledger_line_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = PerfLedger(path)
+        ledger.append(_doc())
+        with path.open("a") as fh:
+            fh.write('{"benchmark": "hot_')
+        assert len(ledger.entries()) == 1
+
+    def test_regression_gate(self, tmp_path):
+        ledger = PerfLedger(tmp_path / "ledger.jsonl")
+        ledger.append(_doc(updates_per_sec=1e6, speedup=2.0))
+        # -20% updates/s: regression; +10% speedup: fine
+        result = perf_diff(
+            [_doc(updates_per_sec=0.8e6, speedup=2.2)], ledger
+        )
+        assert not result.ok
+        assert [c.metric for c in result.regressions] == ["updates_per_sec"]
+        assert result.regressions[0].delta_fraction == pytest.approx(-0.2)
+        # within threshold: ok
+        assert perf_diff([_doc(updates_per_sec=0.9e6)], ledger).ok
+
+    def test_missing_baseline_warns_not_fails(self, tmp_path):
+        ledger = PerfLedger(tmp_path / "empty.jsonl")
+        result = perf_diff([_doc()], ledger)
+        assert result.ok
+        assert result.missing == ["hot_path"]
+        assert "no comparable ledger entry" in result.format()
+
+
+class TestPerfDiffCli:
+    def _write_doc(self, tmp_path, name, **kw):
+        path = tmp_path / name
+        path.write_text(json.dumps(_doc(**kw)))
+        return path
+
+    def test_exit_codes(self, tmp_path):
+        from repro.experiments.cli import main
+
+        ledger = tmp_path / "ledger.jsonl"
+        doc = self._write_doc(tmp_path, "BENCH_a.json")
+        # no baseline: warn, exit 0 — and --record seeds the ledger
+        assert main(["perf-diff", str(doc), "--against", str(ledger),
+                     "--record"]) == 0
+        # unchanged numbers against the recorded baseline: exit 0
+        assert main(["perf-diff", str(doc), "--against", str(ledger)]) == 0
+        slow = self._write_doc(tmp_path, "BENCH_slow.json",
+                               updates_per_sec=0.5e6)
+        assert main(["perf-diff", str(slow), "--against", str(ledger)]) == 1
+        # tighter threshold flips a small change into a failure
+        fast = self._write_doc(tmp_path, "BENCH_fast.json",
+                               updates_per_sec=0.98e6)
+        assert main(["perf-diff", str(fast), "--against", str(ledger)]) == 0
+        assert main(["perf-diff", str(fast), "--against", str(ledger),
+                     "--threshold", "0.01"]) == 1
+
+    def test_unreadable_document_exits_2(self, tmp_path):
+        from repro.experiments.cli import main
+
+        bad = tmp_path / "not_json.json"
+        bad.write_text("{")
+        assert main(["perf-diff", str(bad)]) == 2
