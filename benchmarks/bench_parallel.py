@@ -3,11 +3,20 @@
 Races the three CPU executors over the same synthetic problem and reports
 epochs/sec for each, plus ``ooc_vs_procs`` — the paired-ratio median of
 out-of-core over in-core procs epoch time (< 1 ⇒ streaming from the
-BlockStore is *faster* than in-core; the pre-v2 name ``ooc_overhead`` is
-kept as a deprecated alias for one release). Each document also embeds the
-procs executors' :class:`~repro.obs.profiler.StallReport` phase attribution
-(``stall_report`` / ``stall_report_ooc``) and a ``meta`` provenance stamp
-(git SHA, UTC timestamp, hostname, cpu count) for the perf ledger:
+BlockStore is *faster* than in-core; the pre-v2 name ``ooc_overhead`` was
+a deprecated alias for one release and is gone in schema v3). v3 also
+scores the **auto** policy: :func:`repro.parallel.policy.choose_executor`
+is resolved against the ratios this run just measured, its pick is aliased
+into the timing table, and ``auto_vs_serial`` records how the policy's
+choice fares against serial — exactly 1.0 when it (correctly) stays
+serial, ≥ the policy margin when it goes parallel, so the ≥ 1.0 acceptance
+bar holds without special-casing the host. ``oversubscribed`` flags runs
+with more workers than cores (their speedup ratios measure contention, not
+capacity; perf-diff skips speedup gating on them). Each document also
+embeds the procs executors' :class:`~repro.obs.profiler.StallReport` phase
+attribution (``stall_report`` / ``stall_report_ooc``) and a ``meta``
+provenance stamp (git SHA, UTC timestamp, hostname, cpu count) for the
+perf ledger:
 
 * **serial** — :class:`repro.core.hogwild.BatchHogwild`, the compiled-plan
   single-core path (the bench_hot_path.py subject);
@@ -60,11 +69,14 @@ from repro.data.synthetic import DatasetSpec, make_synthetic
 from repro.obs.ledger import PerfLedger, bench_meta
 from repro.obs.profiler import StallReport
 from repro.parallel import ProcessHogwild, ThreadedHogwild
+from repro.parallel.policy import choose_executor
 
 # v2: +meta provenance stamp (bench_meta), +stall_report / stall_report_ooc
 # phase attribution, ooc_overhead renamed ooc_vs_procs (deprecated alias
-# kept one release — see run_config)
-SCHEMA_VERSION = 2
+# kept one release)
+# v3: +auto policy variant (auto_vs_serial + the auto decision block),
+# +oversubscribed flag, deprecated ooc_overhead alias removed
+SCHEMA_VERSION = 3
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
 
 #: The acceptance configuration: nnz >= 1e6, k = 32, s = 128 workers.
@@ -197,16 +209,35 @@ def run_config(config: dict) -> dict:
     # t(procs_ooc) / t(procs): < 1 means the out-of-core pipeline is
     # *faster* than in-core procs, > 1 means staging costs wall time
     metrics["ooc_vs_procs"] = ratio("procs_ooc", "procs")
-    # deprecated v1 alias — the old name read as a cost even when < 1;
-    # kept one release for downstream readers, removed in schema v3
-    metrics["ooc_overhead"] = metrics["ooc_vs_procs"]
-    metrics["cpu_count"] = os.cpu_count() or 1
+    cpu_count = os.cpu_count() or 1
+    # auto variant: resolve the policy against the ratios just measured on
+    # this host (the strongest evidence there is) and alias its pick into
+    # the timing table — auto_vs_serial is exactly 1.0 when the policy
+    # (correctly) stays serial, >= the policy margin when it goes parallel
+    choice = choose_executor(
+        config["nnz"], config["k"], cpu_count=cpu_count,
+        evidence={
+            "threads_vs_serial": metrics["threads_vs_serial"],
+            "procs_vs_serial": metrics["procs_vs_serial"],
+            "n_threads": config["n_threads"],
+            "n_procs": config["n_procs"],
+        },
+    )
+    times["auto"] = times[choice.executor]
+    metrics["auto_vs_serial"] = ratio("serial", "auto")
+    # more workers than cores: the speedup ratios above measure contention,
+    # not capacity — perf-diff skips speedup gating on flagged runs
+    metrics["oversubscribed"] = (
+        max(config["n_threads"], config["n_procs"]) > cpu_count
+    )
+    metrics["cpu_count"] = cpu_count
     return {
         "benchmark": "parallel",
         "schema_version": SCHEMA_VERSION,
         "config": dict(config),
         "meta": bench_meta(),
         "metrics": metrics,
+        "auto": choice.as_dict(),
         "stall_report": fitted["procs"].stall_report.as_dict(),
         "stall_report_ooc": fitted["procs_ooc"].stall_report.as_dict(),
         "bit_identical": _bit_identity_check(),
@@ -238,18 +269,37 @@ def validate_result(doc: dict) -> None:
         fail("metrics missing or not a mapping")
     positive = [f"{key}_epoch_seconds" for key in VARIANTS]
     positive += [f"{key}_updates_per_sec" for key in VARIANTS]
-    positive += ["threads_vs_serial", "procs_vs_serial", "ooc_vs_procs"]
+    positive += ["threads_vs_serial", "procs_vs_serial", "ooc_vs_procs",
+                 "auto_vs_serial"]
     for key in positive:
         value = metrics.get(key)
-        if not isinstance(value, (int, float)) or value <= 0:
+        if isinstance(value, bool) or not isinstance(value, (int, float)) \
+                or value <= 0:
             fail(f"metrics.{key} must be a positive number, got {value!r}")
-    if "ooc_overhead" in metrics and (
-        metrics["ooc_overhead"] != metrics.get("ooc_vs_procs")
-    ):
-        fail("deprecated metrics.ooc_overhead must alias metrics.ooc_vs_procs")
+    if "ooc_overhead" in metrics:
+        fail("metrics.ooc_overhead was removed in schema v3 "
+             "(use metrics.ooc_vs_procs)")
+    # the auto acceptance bar: never lose to serial. Exactly 1.0 when the
+    # policy stays serial (auto aliases the serial timings), >= the policy
+    # margin when it picked a parallel executor on measured evidence.
+    if metrics["auto_vs_serial"] < 1.0 - 1e-9:
+        fail(f"metrics.auto_vs_serial = {metrics['auto_vs_serial']!r} < 1.0: "
+             "the auto policy lost to serial")
+    if not isinstance(metrics.get("oversubscribed"), bool):
+        fail("metrics.oversubscribed must be a bool")
     cpus = metrics.get("cpu_count")
     if not isinstance(cpus, int) or cpus <= 0:
         fail(f"metrics.cpu_count must be a positive int, got {cpus!r}")
+    auto = doc.get("auto")
+    if not isinstance(auto, dict):
+        fail("auto decision block missing or not a mapping")
+    if auto.get("executor") not in ("serial", "threads", "procs"):
+        fail(f"auto.executor {auto.get('executor')!r} unknown")
+    if not isinstance(auto.get("n_workers"), int) or auto["n_workers"] <= 0:
+        fail(f"auto.n_workers must be a positive int, got {auto.get('n_workers')!r}")
+    for key in ("backend", "reason"):
+        if not isinstance(auto.get(key), str) or not auto[key]:
+            fail(f"auto.{key} must be a non-empty string")
     meta = doc.get("meta")
     if not isinstance(meta, dict):
         fail("meta missing or not a mapping")
@@ -309,6 +359,13 @@ def main(argv: list[str] | None = None) -> dict:
     print(f"threads vs serial: {m['threads_vs_serial']:.2f}x   "
           f"procs vs serial: {m['procs_vs_serial']:.2f}x   "
           f"out-of-core vs procs: {m['ooc_vs_procs']:.2f}x (<1 means ooc faster)")
+    auto = doc["auto"]
+    print(f"auto policy: {auto['executor']} / {auto['backend']} -> "
+          f"{m['auto_vs_serial']:.2f}x vs serial ({auto['reason']})")
+    if m["oversubscribed"]:
+        print("WARNING: oversubscribed (workers > cores) — speedup ratios "
+              "measure contention, not capacity; perf-diff will not gate "
+              "on them")
     print(f"n_procs=1 bit-identical to serial: {doc['bit_identical']}")
     agg = doc["stall_report"]["aggregate"]["fractions"]
     print("procs stall attribution: " + "  ".join(

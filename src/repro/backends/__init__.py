@@ -1,0 +1,37 @@
+"""Pluggable SGD kernel backends.
+
+One training run, several possible kernel implementations: the vectorized
+NumPy reference (:mod:`repro.core.kernels`, bit-exact, always present),
+Numba nopython JIT kernels, and a CuPy device stub — each registered behind
+feature detection and a correctness gate against the reference. Executors
+resolve a backend once per fit through :func:`get_backend` and drive their
+hot loops through the bound callable it returns; the default (``None``)
+resolves to the NumPy reference, so existing bit-identity contracts are
+untouched unless a caller opts in.
+
+See ``docs/PERFORMANCE.md`` (backend matrix) and
+:mod:`repro.parallel.policy` for how ``--executor auto`` picks a backend
+per problem size.
+"""
+
+from repro.backends.base import BackendType, KernelBackend, estimate_memory_bytes
+from repro.backends.registry import (
+    BackendUnavailable,
+    BackendVerificationError,
+    available_backends,
+    backend_status,
+    get_backend,
+    verify_backend,
+)
+
+__all__ = [
+    "BackendType",
+    "KernelBackend",
+    "estimate_memory_bytes",
+    "BackendUnavailable",
+    "BackendVerificationError",
+    "available_backends",
+    "backend_status",
+    "get_backend",
+    "verify_backend",
+]

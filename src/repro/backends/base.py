@@ -1,0 +1,129 @@
+"""Kernel-backend contract: one wave/serial kernel family per backend.
+
+The reference SGD kernels (:mod:`repro.core.kernels`) are vectorized NumPy
+with explicit Hogwild race semantics — snapshot gathers, last-writer-wins
+scatters — and every convergence and bit-identity claim in the repo anchors
+on them.  A :class:`KernelBackend` packages one alternative implementation
+of exactly that contract:
+
+* :meth:`KernelBackend.wave_update` — one concurrent wave (all reads from
+  the pre-wave snapshot, racy write-back), the unit
+  :class:`~repro.core.hogwild.BatchHogwild` and the plan-shard executors
+  launch per wave;
+* :meth:`KernelBackend.serial_update` — serial-equivalent replay of one
+  worker's sample run (conflict-free segmentation), the unit the
+  out-of-core block loop launches per block;
+* :meth:`KernelBackend.bind` — the hot-loop entry point: given the caller's
+  :class:`~repro.core.kernels.WaveWorkspace` it returns the per-wave
+  callable the epoch loop invokes.  The NumPy backend returns the
+  workspace's own bound method, so dispatching through the registry is
+  *structurally* identical to the pre-registry code path — same callable,
+  same bits.
+
+``exact`` declares the verification gate: exact backends must reproduce the
+reference kernels bit for bit (``tobytes`` equality); accelerated backends
+(different summation order, fused arithmetic) are held to a numerical
+tolerance instead.  :func:`repro.backends.registry.get_backend` runs the
+gate before handing a backend out.
+
+:func:`estimate_memory_bytes` is the shared sizing model the auto-policy
+and device-backed backends consult before committing to a configuration.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["BackendType", "KernelBackend", "estimate_memory_bytes"]
+
+
+class BackendType(str, Enum):
+    """Registered kernel-backend families."""
+
+    NUMPY = "numpy"
+    NUMBA = "numba"
+    CUPY = "cupy"
+
+    def __str__(self) -> str:  # "numpy", not "BackendType.NUMPY", in messages
+        return self.value
+
+
+class KernelBackend:
+    """Base class for kernel backends; subclasses implement the kernels.
+
+    Attributes
+    ----------
+    name:
+        The :class:`BackendType` this implementation registers as.
+    exact:
+        True when the backend must match the reference kernels bit for bit
+        (the verification gate uses ``tobytes`` equality); False holds it
+        to ``np.allclose`` tolerance instead (see
+        :func:`repro.backends.registry.verify_backend`).
+    """
+
+    name: BackendType = BackendType.NUMPY
+    exact: bool = True
+
+    # ------------------------------------------------------------------
+    def bind(self, workspace):
+        """Return the per-wave callable the epoch hot loop should invoke.
+
+        The callable's signature is
+        ``f(p, q, rows, cols, vals, lr, lam_p, lam_q)`` — exactly what the
+        executors' hot loops pass today. ``workspace`` is the caller's
+        (thread-/process-private) :class:`~repro.core.kernels.WaveWorkspace`;
+        backends that don't use NumPy scratch may ignore it.
+        """
+        raise NotImplementedError
+
+    def wave_update(self, p, q, rows, cols, vals, lr, lam_p, lam_q,
+                    workspace=None):
+        """One concurrent wave with Hogwild race semantics (see
+        :func:`repro.core.kernels.sgd_wave_update`)."""
+        raise NotImplementedError
+
+    def serial_update(self, p, q, rows, cols, vals, lr, lam_p, lam_q,
+                      max_wave: int = 64, workspace=None):
+        """Serial-equivalent replay of one worker's sample run (see
+        :func:`repro.core.kernels.sgd_serial_update`)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name.value} exact={self.exact}>"
+
+
+def estimate_memory_bytes(
+    m: int,
+    n: int,
+    k: int,
+    nnz: int,
+    *,
+    workers: int = 128,
+    n_workers: int = 1,
+    half_precision: bool = False,
+) -> int:
+    """Working-set estimate (bytes) for one training run.
+
+    Counts the factor matrices, the COO rating arrays, the compiled epoch
+    plan (padded index matrix + the wave-major gather buffers each worker's
+    workspace materializes), and per-worker kernel scratch. Intentionally a
+    ceiling-flavoured estimate: the auto-policy and device backends use it
+    to *decline* configurations, so overcounting a few percent is the safe
+    direction.
+    """
+    itemsize = 2 if half_precision else 4
+    factors = (m + n) * k * itemsize
+    # COO arrays: int32 row + int32 col + float32 value
+    data = nnz * (4 + 4 + 4)
+    span = workers * 256  # plan padding rounds nnz up to a chunk-group
+    padded = -(-max(nnz, 1) // span) * span
+    plan = padded * 8  # int64 index matrix
+    # wave-major gathers (intp rows + intp cols + f32 vals) per workspace
+    gathers = padded * (np.dtype(np.intp).itemsize * 2 + 4)
+    # kernel scratch: 5 (w, k) fp32 temporaries + the error vector
+    scratch = workers * (5 * k + 1) * 4
+    return int(factors + data + plan + max(1, n_workers) * (gathers + scratch))

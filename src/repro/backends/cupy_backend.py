@@ -1,0 +1,78 @@
+"""CuPy backend stub: activates when CuPy (and a device) is present.
+
+The repo's north star is the paper's GPU execution model, and this stub is
+the mount point for it: the registry feature-detects ``cupy`` and only then
+instantiates :class:`CupyBackend`, so the module imports cleanly (and the
+backend reports unavailable) on CPU-only boxes like CI.
+
+What is implemented is a *correctness-gated port*, not a performance
+port: each call copies the factor slices host→device, runs the wave
+arithmetic as CuPy array ops (same snapshot-gather / last-writer-wins
+structure as the reference), and copies back. That round-trips PCIe per
+wave — orders of magnitude off the paper's resident-factor design — so the
+auto-policy never selects it; it exists so the dispatch plumbing, the
+verification gate, and the tests exercise a third backend wherever a GPU
+box shows up. Keeping P and Q device-resident across an epoch is the
+follow-on item tracked in ROADMAP.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import BackendType, KernelBackend
+from repro.sched.plan import SerialPlan
+
+__all__ = ["CupyBackend"]
+
+
+class CupyBackend(KernelBackend):
+    """Device wave kernel behind host↔device copies; tolerance-gated."""
+
+    name = BackendType.CUPY
+    exact = False
+
+    def __init__(self) -> None:
+        import cupy
+
+        # fail instantiation (→ registry fallback) when no device exists:
+        # find_spec sees the package even on driverless boxes
+        cupy.cuda.runtime.getDeviceCount()
+        self._cp = cupy
+
+    # ------------------------------------------------------------------
+    def bind(self, workspace):
+        def wave_update(p, q, rows, cols, vals, lr, lam_p, lam_q):
+            return self.wave_update(p, q, rows, cols, vals, lr, lam_p, lam_q)
+
+        return wave_update
+
+    def wave_update(self, p, q, rows, cols, vals, lr, lam_p, lam_q,
+                    workspace=None):
+        cp = self._cp
+        rows_d = cp.asarray(rows)
+        cols_d = cp.asarray(cols)
+        pu = cp.asarray(p)[rows_d].astype(cp.float32, copy=False)
+        qv = cp.asarray(q)[cols_d].astype(cp.float32, copy=False)
+        err = cp.asarray(vals).astype(cp.float32, copy=False) - (pu * qv).sum(axis=1)
+        lr32 = np.float32(lr)
+        new_p = pu + lr32 * (err[:, None] * qv - np.float32(lam_p) * pu)
+        new_q = qv + lr32 * (err[:, None] * pu - np.float32(lam_q) * qv)
+        # device-side scatter resolves duplicate indices in unspecified
+        # order (unlike NumPy's index-order last-writer-wins) — acceptable
+        # under Hogwild lost-update semantics, and the registry's
+        # verification gate uses conflict-free waves where order is moot
+        p_d = cp.asarray(p)
+        q_d = cp.asarray(q)
+        p_d[rows_d] = new_p.astype(p_d.dtype, copy=False)
+        q_d[cols_d] = new_q.astype(q_d.dtype, copy=False)
+        p[...] = cp.asnumpy(p_d)
+        q[...] = cp.asnumpy(q_d)
+        return cp.asnumpy(err)
+
+    def serial_update(self, p, q, rows, cols, vals, lr, lam_p, lam_q,
+                      max_wave=64, workspace=None):
+        plan = SerialPlan.compile(rows, cols, max_wave)
+        for start, stop in zip(plan.starts.tolist(), plan.stops.tolist()):
+            self.wave_update(p, q, rows[start:stop], cols[start:stop],
+                             vals[start:stop], lr, lam_p, lam_q)

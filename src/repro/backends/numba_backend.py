@@ -1,0 +1,133 @@
+"""Numba nopython kernels: JIT-compiled wave/serial SGD updates.
+
+Optional — this module imports cleanly without Numba installed; the
+registry only instantiates :class:`NumbaBackend` after feature detection
+(``importlib.util.find_spec("numba")``), and instantiation compiles nothing
+(kernels JIT on first launch, so the multi-second compile cost lands once
+and only when the backend is actually used).
+
+The kernels reproduce the reference race semantics explicitly:
+
+* **snapshot gather** — every worker's ``p_u``/``q_v`` is copied out before
+  any worker writes (the gather loop completes before the scatter loop
+  starts), matching the most-adversarial-interleaving contract of
+  :func:`repro.core.kernels.sgd_wave_update`;
+* **last-writer-wins scatter** — the write-back loop walks samples in index
+  order, so duplicate rows/columns resolve exactly as NumPy's fancy-index
+  assignment does.
+
+Arithmetic is fp32 throughout (gathers promote fp16 storage), but the
+scalar accumulation order inside the dot product differs from NumPy's
+pairwise ``einsum`` reduction — the backend is therefore registered with
+``exact=False`` and gated by tolerance, not bit identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import BackendType, KernelBackend
+from repro.sched.plan import SerialPlan
+
+__all__ = ["NumbaBackend"]
+
+
+def _build_kernels():
+    """Compile-on-demand kernel pair. Raises ImportError without numba."""
+    import numba
+
+    f32 = np.float32
+
+    @numba.njit(cache=True, nogil=True)
+    def wave_kernel(p, q, rows, cols, vals, lr, lam_p, lam_q):
+        w = rows.shape[0]
+        k = p.shape[1]
+        pu = np.empty((w, k), dtype=f32)
+        qv = np.empty((w, k), dtype=f32)
+        err = np.empty(w, dtype=f32)
+        # phase 1: snapshot gather + error, before any write
+        for i in range(w):
+            r = rows[i]
+            c = cols[i]
+            e = f32(0.0)
+            for j in range(k):
+                pj = f32(p[r, j])
+                qj = f32(q[c, j])
+                pu[i, j] = pj
+                qv[i, j] = qj
+                e += pj * qj
+            err[i] = f32(vals[i]) - e
+        # phase 2: racy scatter in index order (last writer wins)
+        for i in range(w):
+            r = rows[i]
+            c = cols[i]
+            e = err[i]
+            for j in range(k):
+                pj = pu[i, j]
+                qj = qv[i, j]
+                p[r, j] = pj + lr * (e * qj - lam_p * pj)
+                q[c, j] = qj + lr * (e * pj - lam_q * qj)
+        return err
+
+    @numba.njit(cache=True, nogil=True)
+    def serial_kernel(p, q, rows, cols, vals, starts, stops, lr, lam_p, lam_q):
+        for s in range(starts.shape[0]):
+            lo = starts[s]
+            hi = stops[s]
+            wave_kernel(p, q, rows[lo:hi], cols[lo:hi], vals[lo:hi],
+                        lr, lam_p, lam_q)
+
+    return wave_kernel, serial_kernel
+
+
+class NumbaBackend(KernelBackend):
+    """JIT wave/serial kernels; tolerance-gated against the reference."""
+
+    name = BackendType.NUMBA
+    exact = False
+
+    def __init__(self) -> None:
+        self._wave = None
+        self._serial = None
+
+    def _kernels(self):
+        if self._wave is None:
+            self._wave, self._serial = _build_kernels()
+        return self._wave, self._serial
+
+    # ------------------------------------------------------------------
+    def bind(self, workspace):
+        """The jitted wave kernel; ``workspace`` scratch is not needed
+        (Numba allocates its snapshot buffers inside the nopython region)."""
+        wave, _ = self._kernels()
+        return _coerced(wave)
+
+    def wave_update(self, p, q, rows, cols, vals, lr, lam_p, lam_q,
+                    workspace=None):
+        wave, _ = self._kernels()
+        return wave(p, q, rows, cols, vals,
+                    np.float32(lr), np.float32(lam_p), np.float32(lam_q))
+
+    def serial_update(self, p, q, rows, cols, vals, lr, lam_p, lam_q,
+                      max_wave=64, workspace=None):
+        _, serial = self._kernels()
+        plan = SerialPlan.compile(rows, cols, max_wave)
+        if plan.n_waves == 0:
+            return
+        serial(p, q, rows, cols, vals, plan.starts, plan.stops,
+               np.float32(lr), np.float32(lam_p), np.float32(lam_q))
+
+
+def _coerced(kernel):
+    """Wrap a jitted kernel to pin the hyperparameter scalars to fp32.
+
+    The executors already pre-coerce (``lr = np.float32(lr)``), but the
+    bound callable is the backend's public contract and must accept plain
+    Python floats like the reference does.
+    """
+
+    def wave_update(p, q, rows, cols, vals, lr, lam_p, lam_q):
+        return kernel(p, q, rows, cols, vals,
+                      np.float32(lr), np.float32(lam_p), np.float32(lam_q))
+
+    return wave_update

@@ -1,0 +1,293 @@
+"""Backend registry: feature detection, verification gates, fallback.
+
+Backends register lazily — a factory per :class:`BackendType`, instantiated
+at most once — behind feature detection (``importlib.util.find_spec``), so
+importing this module costs nothing and never imports an optional
+dependency. :func:`get_backend` is the one resolution entry point:
+
+1. resolve the request (``"auto"``, a name, a :class:`BackendType`, or an
+   already-constructed :class:`KernelBackend`) to a candidate;
+2. run the candidate through :func:`verify_backend` — a fixed seeded
+   mini-problem replayed against the reference kernels of
+   :mod:`repro.core.kernels`, ``tobytes``-equal for ``exact`` backends and
+   ``np.allclose`` for accelerated ones (verified once per process, then
+   cached);
+3. on a missing dependency, failed instantiation, or failed verification:
+   warn **once per backend per process** and fall back to the NumPy
+   reference, so training never dies because an accelerator is absent.
+
+``"auto"`` at this layer means "the most accelerated backend that is
+present and verified" (cupy > numba > numpy). Size-aware selection — is the
+problem big enough to amortize a JIT? — lives one level up, in
+:func:`repro.parallel.policy.choose_backend`.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import warnings
+
+import numpy as np
+
+from repro.backends.base import BackendType, KernelBackend
+from repro.backends.numpy_backend import NumpyBackend
+from repro.core.kernels import sgd_serial_update, sgd_wave_update
+
+__all__ = [
+    "BackendUnavailable",
+    "BackendVerificationError",
+    "available_backends",
+    "backend_status",
+    "get_backend",
+    "verify_backend",
+]
+
+
+class BackendUnavailable(RuntimeError):
+    """The requested backend's dependency is missing or unusable."""
+
+
+class BackendVerificationError(RuntimeError):
+    """A backend's kernels disagree with the reference beyond its gate."""
+
+
+def _make_numba() -> KernelBackend:
+    from repro.backends.numba_backend import NumbaBackend
+
+    return NumbaBackend()
+
+
+def _make_cupy() -> KernelBackend:
+    from repro.backends.cupy_backend import CupyBackend
+
+    return CupyBackend()
+
+
+#: backend -> (feature-detection module, factory). NumPy has no entry: it is
+#: always available and constructed directly.
+_OPTIONAL = {
+    BackendType.NUMBA: ("numba", _make_numba),
+    BackendType.CUPY: ("cupy", _make_cupy),
+}
+
+#: ``"auto"`` preference order at the registry layer (most accelerated
+#: first); the policy layer narrows this by problem size.
+_AUTO_ORDER = (BackendType.CUPY, BackendType.NUMBA, BackendType.NUMPY)
+
+#: relative/absolute tolerance for non-exact backends: fp32 kernels with a
+#: different reduction order drift by a few ULPs per update, not more
+_RTOL, _ATOL = 1e-4, 1e-5
+
+_instances: dict[BackendType, KernelBackend] = {}
+_verified: set[int] = set()
+_warned: set[str] = set()
+
+
+def _warn_once(key: str, message: str) -> None:
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
+def _count_fallback(btype: BackendType) -> None:
+    """Every fallback lands in the ambient registry (warning is once-only,
+    the counter is not); no-op without an active collector."""
+    from repro.obs.context import active_registry
+    from repro.obs.registry import M
+
+    registry = active_registry()
+    if registry is not None:
+        registry.counter(M.BACKEND_FALLBACKS, {"backend": btype.value}).inc()
+
+
+def _module_present(btype: BackendType) -> bool:
+    if btype is BackendType.NUMPY:
+        return True
+    module = _OPTIONAL[btype][0]
+    try:
+        return importlib.util.find_spec(module) is not None
+    except (ImportError, ValueError):  # pragma: no cover - broken metadata
+        return False
+
+
+def _instantiate(btype: BackendType) -> KernelBackend:
+    """Construct (once) the backend instance; raises BackendUnavailable."""
+    inst = _instances.get(btype)
+    if inst is not None:
+        return inst
+    if btype is BackendType.NUMPY:
+        inst = NumpyBackend()
+    else:
+        module, factory = _OPTIONAL[btype]
+        if not _module_present(btype):
+            raise BackendUnavailable(
+                f"backend {btype.value!r} needs the optional dependency "
+                f"{module!r}, which is not installed"
+            )
+        try:
+            inst = factory()
+        except Exception as exc:
+            raise BackendUnavailable(
+                f"backend {btype.value!r} failed to initialize: {exc}"
+            ) from exc
+    _instances[btype] = inst
+    return inst
+
+
+# ---------------------------------------------------------------------------
+# verification gate
+# ---------------------------------------------------------------------------
+def _verification_problem():
+    """Fixed seeded mini-problem with conflict-free waves.
+
+    Rows/cols inside each wave are distinct (sliced from permutations), so
+    scatter order cannot distinguish implementations — the gate then tests
+    arithmetic, not duplicate-resolution policy (which Hogwild semantics
+    leave open for accelerated backends).
+    """
+    rng = np.random.default_rng(20260808)
+    m, n, k, w, n_waves = 48, 40, 8, 16, 4
+    p = rng.standard_normal((m, k)).astype(np.float32)
+    q = rng.standard_normal((n, k)).astype(np.float32)
+    waves = []
+    for _ in range(n_waves):
+        rows = rng.permutation(m)[:w].astype(np.int64)
+        cols = rng.permutation(n)[:w].astype(np.int64)
+        vals = rng.standard_normal(w).astype(np.float32)
+        waves.append((rows, cols, vals))
+    return p, q, waves
+
+
+def verify_backend(backend: KernelBackend) -> None:
+    """Gate ``backend`` against the reference kernels; raises
+    :class:`BackendVerificationError` on disagreement.
+
+    Exact backends must match :func:`sgd_wave_update` /
+    :func:`sgd_serial_update` bit for bit; accelerated backends within
+    ``np.allclose`` tolerance. Each instance verifies once per process.
+    """
+    if id(backend) in _verified:
+        return
+    p0, q0, waves = _verification_problem()
+    lr, lam = 0.05, 0.02
+
+    ref_p, ref_q = p0.copy(), q0.copy()
+    got_p, got_q = p0.copy(), q0.copy()
+    from repro.core.kernels import WaveWorkspace
+
+    ws = WaveWorkspace()
+    bound = backend.bind(ws)
+    for rows, cols, vals in waves:
+        sgd_wave_update(ref_p, ref_q, rows, cols, vals, lr, lam, lam)
+        bound(got_p, got_q, rows, cols, vals, lr, lam, lam)
+    _compare(backend, "wave_update", ref_p, got_p, ref_q, got_q)
+
+    # serial replay: concatenate the waves into one worker-run sequence
+    rows = np.concatenate([wv[0] for wv in waves])
+    cols = np.concatenate([wv[1] for wv in waves])
+    vals = np.concatenate([wv[2] for wv in waves])
+    ref_p, ref_q = p0.copy(), q0.copy()
+    got_p, got_q = p0.copy(), q0.copy()
+    sgd_serial_update(ref_p, ref_q, rows, cols, vals, lr, lam, lam, max_wave=16)
+    backend.serial_update(got_p, got_q, rows, cols, vals, lr, lam, lam,
+                          max_wave=16)
+    _compare(backend, "serial_update", ref_p, got_p, ref_q, got_q)
+    _verified.add(id(backend))
+
+
+def _compare(backend, kernel, ref_p, got_p, ref_q, got_q) -> None:
+    if backend.exact:
+        ok = (ref_p.tobytes() == got_p.tobytes()
+              and ref_q.tobytes() == got_q.tobytes())
+        gate = "bit identity"
+    else:
+        ok = (np.allclose(ref_p, got_p, rtol=_RTOL, atol=_ATOL)
+              and np.allclose(ref_q, got_q, rtol=_RTOL, atol=_ATOL))
+        gate = f"allclose(rtol={_RTOL}, atol={_ATOL})"
+    if not ok:
+        raise BackendVerificationError(
+            f"backend {backend.name.value!r} failed the {gate} gate on "
+            f"{kernel} against the reference kernels"
+        )
+
+
+# ---------------------------------------------------------------------------
+# public resolution API
+# ---------------------------------------------------------------------------
+def available_backends() -> tuple[BackendType, ...]:
+    """Backends whose dependency is importable, in ``_AUTO_ORDER``-reversed
+    (numpy first) declaration order. Presence, not verification: a present
+    backend can still fail its gate and fall back at :func:`get_backend`."""
+    out = [BackendType.NUMPY]
+    for btype in (BackendType.NUMBA, BackendType.CUPY):
+        if _module_present(btype):
+            out.append(btype)
+    return tuple(out)
+
+
+def backend_status() -> dict[str, str]:
+    """Human-readable availability map (for CLI/debug output)."""
+    status = {}
+    for btype in BackendType:
+        if not _module_present(btype):
+            status[btype.value] = "missing dependency"
+        elif btype in _instances and id(_instances[btype]) in _verified:
+            status[btype.value] = "verified"
+        else:
+            status[btype.value] = "present"
+    return status
+
+
+def _coerce_request(name) -> BackendType | None:
+    """None/"auto" -> None (meaning auto); else a BackendType."""
+    if name is None:
+        return BackendType.NUMPY
+    if isinstance(name, BackendType):
+        return name
+    text = str(name).strip().lower()
+    if text == "auto":
+        return None
+    try:
+        return BackendType(text)
+    except ValueError:
+        raise ValueError(
+            f"unknown backend {name!r}; choose from "
+            f"{['auto'] + [b.value for b in BackendType]}"
+        ) from None
+
+
+def get_backend(name="auto") -> KernelBackend:
+    """Resolve, verify, and return a kernel backend.
+
+    ``name`` may be ``None`` (the NumPy reference — the bit-stable default
+    every executor uses unless told otherwise), ``"auto"``, a backend name,
+    a :class:`BackendType`, or an existing :class:`KernelBackend` instance
+    (verified, then returned as-is). Unavailable or verification-failing
+    optional backends warn once per process and fall back to NumPy.
+    """
+    if isinstance(name, KernelBackend):
+        verify_backend(name)
+        return name
+    requested = _coerce_request(name)
+    candidates = _AUTO_ORDER if requested is None else (requested,)
+    for btype in candidates:
+        if requested is None and not _module_present(btype):
+            continue  # auto mode skips absent backends silently
+        try:
+            backend = _instantiate(btype)
+            verify_backend(backend)
+            return backend
+        except BackendUnavailable as exc:
+            _count_fallback(btype)
+            _warn_once(
+                f"unavailable:{btype.value}",
+                f"{exc}; falling back to the numpy reference backend",
+            )
+        except BackendVerificationError as exc:
+            _count_fallback(btype)
+            _warn_once(
+                f"verify:{btype.value}",
+                f"{exc}; falling back to the numpy reference backend",
+            )
+    return _instantiate(BackendType.NUMPY)

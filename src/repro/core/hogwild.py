@@ -65,6 +65,12 @@ class BatchHogwild:
     track_collisions:
         Record the mean wave collision fraction per epoch (diagnostics for
         the §7.5 convergence analysis).
+    backend:
+        Kernel backend for the wave updates — a name, a
+        :class:`~repro.backends.base.BackendType`, or a constructed
+        :class:`~repro.backends.base.KernelBackend`. ``None`` (default)
+        resolves to the NumPy reference, which binds the workspace's own
+        kernel — the pre-registry code path, bit for bit.
     """
 
     workers: int
@@ -72,6 +78,7 @@ class BatchHogwild:
     seed: int = 0
     shuffle_each_epoch: bool = True
     track_collisions: bool = False
+    backend: object | None = None
     collision_history: list[float] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
@@ -84,6 +91,16 @@ class BatchHogwild:
         self._plan: EpochPlan | None = None
         self.plan_stats = PlanStats()
         self.workspace = WaveWorkspace()
+        self._backend_obj = None
+
+    def resolved_backend(self):
+        """The verified :class:`~repro.backends.base.KernelBackend` this
+        executor dispatches through (resolved once, cached)."""
+        if self._backend_obj is None:
+            from repro.backends import get_backend
+
+            self._backend_obj = get_backend(self.backend)
+        return self._backend_obj
 
     # ------------------------------------------------------------------
     def compiled_plan(self, nnz: int) -> EpochPlan:
@@ -158,7 +175,9 @@ class BatchHogwild:
         lengths = plan.lengths.tolist()
         width = plan.width
         track = self.track_collisions
-        wave_update = ws.wave_update
+        # registry dispatch: numpy resolves to ws.wave_update itself, so the
+        # default path is the historical one, bit for bit
+        wave_update = self.resolved_backend().bind(ws)
         # pre-coerced scalars: the kernel skips its per-call conversions
         lr = np.float32(lr)
         lam_p = np.float32(lam_p)

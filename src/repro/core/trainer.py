@@ -181,6 +181,9 @@ class CuMFSGD:
         ambient collector from :func:`repro.obs.activate` scopes, falling
         back to the zero-cost null object — the numeric results are
         bit-identical either way.
+    backend:
+        Kernel backend for ``scheme="batch_hogwild"`` wave updates (see
+        :mod:`repro.backends`); ``None`` keeps the NumPy reference path.
     """
 
     def __init__(
@@ -199,6 +202,7 @@ class CuMFSGD:
         scale_factor: float = 1.0,
         strict_safety: bool = False,
         hooks: TrainerHooks | None = None,
+        backend: object | None = None,
     ) -> None:
         if scheme not in SCHEMES:
             raise ValueError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
@@ -218,6 +222,11 @@ class CuMFSGD:
         self.scale_factor = scale_factor
         self.strict_safety = strict_safety
         self.hooks = hooks
+        #: kernel backend for the batch-Hogwild! wave updates (name /
+        #: BackendType / instance; None = numpy reference). Forwarded to
+        #: BatchHogwild; the wavefront and multi-device simulators model
+        #: schedules, not kernels, and ignore it.
+        self.backend = backend
         self.model: FactorModel | None = None
         self.history: TrainHistory | None = None
         self.safety = None
@@ -232,7 +241,10 @@ class CuMFSGD:
                     workers=self.workers, f=self.f, seed=self.seed,
                     schedule=self.schedule,
                 )
-            return BatchHogwild(workers=self.workers, f=self.f, seed=self.seed)
+            return BatchHogwild(
+                workers=self.workers, f=self.f, seed=self.seed,
+                backend=self.backend,
+            )
         if self.scheme == "wavefront":
             return WavefrontScheduler(
                 workers=self.workers, col_blocks=self.col_blocks, seed=self.seed

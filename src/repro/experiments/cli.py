@@ -6,7 +6,9 @@ Subcommands::
     cumf-sgd run fig9 [--full] [--csv F]  # reproduce one table/figure
     cumf-sgd all [--full] [--outdir D]    # reproduce everything
     cumf-sgd train netflix-syn --epochs 20 --scheme wavefront
+    cumf-sgd train netflix-syn --executor auto            # policy picks (default)
     cumf-sgd train netflix-syn --executor procs --procs 4   # shared-memory Hogwild
+    cumf-sgd train netflix-syn --backend numba            # JIT kernels when present
     cumf-sgd train netflix-syn --executor procs --out-of-core
     cumf-sgd plan hugewiki --gpu pascal --devices 2
     cumf-sgd throughput --gpu maxwell --workers 768
@@ -112,14 +114,24 @@ def _build_parser() -> argparse.ArgumentParser:
     train_p.add_argument("dataset", help="scaled data set name (e.g. netflix-syn)")
     train_p.add_argument("--scheme", default="batch_hogwild",
                          choices=("batch_hogwild", "wavefront", "multi_device"))
-    train_p.add_argument("--executor", default="serial",
-                         choices=("serial", "threads", "procs"),
-                         help="serial: deterministic simulated executor "
-                         "(--scheme applies); threads: ThreadedHogwild; "
-                         "procs: shared-memory ProcessHogwild")
-    train_p.add_argument("--procs", type=int, default=4,
+    train_p.add_argument("--executor", default="auto",
+                         choices=("auto", "serial", "threads", "procs"),
+                         help="auto (default): pick per host/problem via "
+                         "repro.parallel.policy (serial unless measured "
+                         "evidence says a parallel executor wins); serial: "
+                         "deterministic simulated executor (--scheme "
+                         "applies); threads: ThreadedHogwild; procs: "
+                         "shared-memory ProcessHogwild")
+    train_p.add_argument("--backend", default="auto",
+                         choices=("auto", "numpy", "numba", "cupy"),
+                         help="kernel backend (repro.backends registry); "
+                         "auto picks the fastest verified backend the "
+                         "problem size amortizes, numpy is the bit-exact "
+                         "reference")
+    train_p.add_argument("--procs", type=int, default=None,
                          help="worker threads/processes for "
-                         "--executor threads|procs")
+                         "--executor threads|procs (default: the auto-"
+                         "policy's choice, else 4)")
     train_p.add_argument("--out-of-core", action="store_true",
                          help="stage ratings from a temporary on-disk "
                          "BlockStore (requires --executor procs)")
@@ -266,6 +278,63 @@ def _cmd_train(args) -> int:
     return rc
 
 
+def _resolve_executor(args, spec, problem) -> None:
+    """Resolve ``--executor auto`` (the default) into a concrete executor.
+
+    Structural constraints first — ``--out-of-core`` only runs on procs;
+    ``--fault-plan`` and the non-hogwild schemes only run on the serial
+    simulators — then the measured-evidence policy of
+    :mod:`repro.parallel.policy` (serial unless this host's perf ledger
+    shows a parallel executor beating serial). Also resolves
+    ``--backend auto`` to a concrete verified backend either way, and
+    publishes the decision to any ambient metrics registry.
+    """
+    from repro.parallel.policy import (
+        ExecutorChoice,
+        choose_backend,
+        choose_executor,
+        publish_choice,
+    )
+
+    k = args.k or spec.k
+    nnz = problem.train.nnz
+    if args.executor != "auto":
+        args.backend, _ = choose_backend(nnz, k, args.backend)
+        if args.procs is None:
+            args.procs = 4
+        return
+    backend_name, _ = choose_backend(nnz, k, args.backend)
+    if args.out_of_core:
+        choice = ExecutorChoice(
+            "procs", args.procs or 4, backend_name,
+            "--out-of-core streams through the procs executor",
+        )
+    elif args.fault_plan:
+        choice = ExecutorChoice(
+            "serial", 1, backend_name,
+            "--fault-plan recovery runs on the serial executor",
+        )
+    elif args.scheme != "batch_hogwild":
+        choice = ExecutorChoice(
+            "serial", 1, backend_name,
+            f"--scheme {args.scheme} runs on the serial simulators",
+        )
+    else:
+        from repro.obs.ledger import DEFAULT_LEDGER_PATH, PerfLedger
+
+        ledger = PerfLedger(DEFAULT_LEDGER_PATH) \
+            if DEFAULT_LEDGER_PATH.exists() else None
+        choice = choose_executor(nnz, k, backend=args.backend, ledger=ledger)
+    publish_choice(choice)
+    args.executor = choice.executor
+    args.backend = choice.backend
+    if args.procs is None:
+        args.procs = choice.n_workers if choice.executor != "serial" else 4
+    workers = 1 if choice.executor == "serial" else args.procs
+    print(f"auto-policy: executor={choice.executor} backend={choice.backend} "
+          f"workers={workers} ({choice.reason})")
+
+
 def _run_train(args) -> int:
     from repro.core.checkpoint import save_model
     from repro.core.lr_schedule import NomadSchedule
@@ -278,6 +347,7 @@ def _run_train(args) -> int:
         return 2
     spec = SCALED_DATASETS[args.dataset]
     problem = make_synthetic(spec, seed=args.seed)
+    _resolve_executor(args, spec, problem)
     if args.executor != "serial":
         return _train_parallel(args, spec, problem)
     if args.out_of_core:
@@ -293,6 +363,7 @@ def _run_train(args) -> int:
         n_devices=2 if args.scheme == "multi_device" else 1,
         grid=(4, 4) if args.scheme == "multi_device" else (1, 1),
         seed=args.seed,
+        backend=args.backend,
     )
     from repro.metrics.throughput import ThroughputRecord
 
@@ -360,7 +431,8 @@ def _train_parallel(args, spec, problem) -> int:
         from repro.parallel.threads import ThreadedHogwild
 
         est = ThreadedHogwild(k=k, n_threads=args.procs, lam=lam,
-                              schedule=schedule, seed=args.seed)
+                              schedule=schedule, seed=args.seed,
+                              backend=args.backend)
         history = est.fit(problem.train, epochs=args.epochs, test=problem.test)
         per_worker = est.thread_updates
     else:
@@ -380,7 +452,8 @@ def _train_parallel(args, spec, problem) -> int:
                       f"{store.max_block_nnz} max nnz/block -> {tmp.name}")
             est = ProcessHogwild(k=k, n_procs=args.procs, lam=lam,
                                  schedule=schedule, seed=args.seed,
-                                 workers=args.workers, store=store)
+                                 workers=args.workers, store=store,
+                                 backend=args.backend)
             history = est.fit(problem.train, epochs=args.epochs,
                               test=problem.test)
         finally:

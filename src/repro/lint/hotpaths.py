@@ -69,6 +69,18 @@ HOT_FUNCTIONS: dict[str, dict[str, HotSpec]] = {
         "_run_shard": _spec("rows", "cols"),
         "_run_blocks": _spec(),
     },
+    # backend registry: the numpy reference backend's dispatch bodies sit on
+    # the same hot path as the kernels they delegate to (accelerated
+    # backends run jitted/device code the AST passes cannot see, so only
+    # their python-level launchers are registered)
+    "repro/backends/numpy_backend.py": {
+        "NumpyBackend.wave_update": _spec("rows", "cols"),
+        "NumpyBackend.serial_update": _spec(),
+    },
+    "repro/backends/numba_backend.py": {
+        "NumbaBackend.wave_update": _spec("rows", "cols"),
+        "NumbaBackend.serial_update": _spec(),
+    },
 }
 
 

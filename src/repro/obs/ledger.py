@@ -29,6 +29,7 @@ __all__ = [
     "MetricComparison",
     "PerfDiffResult",
     "gated_metrics",
+    "is_speedup_metric",
     "diff_against",
     "perf_diff",
     "DEFAULT_THRESHOLD",
@@ -124,15 +125,30 @@ class PerfLedger:
 # ---------------------------------------------------------------------------
 # regression diff
 # ---------------------------------------------------------------------------
+def is_speedup_metric(name: str) -> bool:
+    """Whether a gated metric is a higher-is-better speedup *ratio*.
+
+    ``speedup`` families and the ``*_vs_serial`` ratios qualify; plain
+    ``_vs_`` does not (``ooc_vs_procs`` is lower-is-better). Speedup
+    ratios are skipped by :func:`perf_diff` when the run is flagged
+    ``oversubscribed`` — with more workers than cores they measure
+    contention, not capacity.
+    """
+    return "speedup" in name or name.endswith("_vs_serial")
+
+
 def gated_metrics(metrics: dict) -> dict:
     """The throughput metrics the regression gate watches: every
-    ``*updates_per_sec`` plus every ``speedup``-family key (higher is
-    better for all of them)."""
+    ``*updates_per_sec`` plus every speedup-family key (higher is
+    better for all of them; see :func:`is_speedup_metric`). Bools are
+    excluded — flags like ``oversubscribed`` pass ``isinstance(...,
+    int)`` but are not throughput."""
     return {
         name: float(value)
         for name, value in metrics.items()
         if isinstance(value, (int, float))
-        and (name.endswith("updates_per_sec") or "speedup" in name)
+        and not isinstance(value, bool)
+        and (name.endswith("updates_per_sec") or is_speedup_metric(name))
     }
 
 
@@ -184,6 +200,13 @@ class PerfDiffResult:
 
     comparisons: list[MetricComparison]
     missing: list[str]  # benchmarks with no comparable baseline
+    #: "benchmark:metric" speedup comparisons dropped because the current
+    #: run was flagged oversubscribed (more workers than cores)
+    skipped: list[str] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.skipped is None:
+            self.skipped = []
 
     @property
     def regressions(self) -> list[MetricComparison]:
@@ -204,6 +227,11 @@ class PerfDiffResult:
                 f"baseline={c.baseline:.6g}  current={c.current:.6g}  "
                 f"({c.delta_fraction:+.1%}, gate -{c.threshold:.0%})"
             )
+        for name in self.skipped:
+            lines.append(
+                f"{'skipped':>10}  {name}: oversubscribed run (workers > "
+                "cores) — speedup ratios measure contention, not gated"
+            )
         for name in self.missing:
             lines.append(
                 f"{'no-baseline':>10}  {name}: no comparable ledger entry "
@@ -220,13 +248,31 @@ def perf_diff(
     threshold: float = DEFAULT_THRESHOLD,
 ) -> PerfDiffResult:
     """Diff each document against its ledger baseline (see
-    :meth:`PerfLedger.baseline` for what "comparable" means)."""
+    :meth:`PerfLedger.baseline` for what "comparable" means).
+
+    Documents flagged ``metrics.oversubscribed`` keep their
+    ``updates_per_sec`` gates but skip the speedup-ratio gates (recorded
+    on :attr:`PerfDiffResult.skipped`): a run with more workers than
+    cores measures contention, and gating on its ratios would flag the
+    host, not the code.
+    """
     comparisons: list[MetricComparison] = []
     missing: list[str] = []
+    skipped: list[str] = []
     for doc in docs:
         baseline = ledger.baseline(doc)
         if baseline is None:
             missing.append(str(doc.get("benchmark", "?")))
             continue
-        comparisons.extend(diff_against(doc, baseline, threshold))
-    return PerfDiffResult(comparisons=comparisons, missing=missing)
+        compared = diff_against(doc, baseline, threshold)
+        if doc.get("metrics", {}).get("oversubscribed"):
+            for c in compared:
+                if is_speedup_metric(c.metric):
+                    skipped.append(f"{c.benchmark}:{c.metric}")
+                else:
+                    comparisons.append(c)
+        else:
+            comparisons.extend(compared)
+    return PerfDiffResult(
+        comparisons=comparisons, missing=missing, skipped=skipped
+    )

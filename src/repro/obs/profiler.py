@@ -179,7 +179,11 @@ class StallReport:
 
         Every worker's fractions must sum to 1 ± ``tolerance`` (workers
         with zero attributed time sum to 0 and are rejected — a profiled
-        run always observes wall time).
+        run always observes wall time), and every worker's *measured*
+        phase seconds must fit inside its wall clock: measured > wall
+        means the producer read the accumulators while workers were still
+        writing them (the pre-join race fixed in ``ProcessHogwild``) — the
+        ``replay`` residual clamp used to hide exactly that corruption.
         """
         for key in ("executor", "phases", "workers", "aggregate"):
             if key not in state:
@@ -196,6 +200,17 @@ class StallReport:
                 raise ValueError(
                     f"worker {w['wid']} phase fractions sum to {total:.4f}, "
                     f"expected 1.0 ± {tolerance}"
+                )
+            wall = float(w["wall_seconds"])
+            measured = math.fsum(
+                float(w["seconds"].get(p, 0.0)) for p in _MEASURED
+            )
+            if measured > wall + max(tolerance * wall, 1e-6):
+                raise ValueError(
+                    f"worker {w['wid']} measured phase seconds "
+                    f"{measured:.4f} exceed wall_seconds {wall:.4f} "
+                    f"(± {tolerance:.0%}): phase windows overlap or were "
+                    "read before the worker finished writing them"
                 )
 
     # -- publication ----------------------------------------------------

@@ -424,6 +424,12 @@ class M:
     PROFILE_WALL_SECONDS = "repro.profile.wall_seconds"
     PROFILE_PHASE_SECONDS = "repro.profile.phase_seconds"
     PROFILE_PHASE_FRACTION = "repro.profile.phase_fraction"
+    # kernel-backend registry + auto executor policy (repro.backends,
+    # repro.parallel.policy)
+    BACKEND_SELECTED = "repro.backend.selected"
+    BACKEND_AVAILABLE = "repro.backend.available"
+    BACKEND_FALLBACKS = "repro.backend.fallbacks"
+    POLICY_EXECUTOR_SELECTED = "repro.policy.executor_selected"
     # resilience subsystem
     RESILIENCE_DEVICE_LOST = "repro.resilience.device_lost"
     RESILIENCE_BLOCKS_REBALANCED = "repro.resilience.blocks_rebalanced"

@@ -1,0 +1,224 @@
+"""Auto-policy: pick an executor and a kernel backend per problem and host.
+
+``train --executor auto`` has one promise — **never lose to serial** — and
+this module is where that promise is enforced. The shipped
+BENCH_parallel.json is the cautionary tale: threads at 0.39x and procs at
+0.25x of serial on a 1-core container, because the executor was hardcoded
+while the host had no silicon to parallelize on (HOGWILD!'s lock-free win
+only materializes once per-worker compute dominates coordination, which
+needs real cores). The policy therefore treats *serial as the null
+hypothesis* and demands measured evidence before rejecting it:
+
+1. ``cpu_count <= 1`` — serial, unconditionally (coordination cannot pay).
+2. ``nnz < SMALL_NNZ`` — serial (spawn/barrier overhead is fixed; small
+   problems never amortize it, whatever the core count).
+3. Otherwise parallel executors are considered only when **evidence** —
+   this host's measured ``threads_vs_serial`` / ``procs_vs_serial`` ratios,
+   either passed directly (bench_parallel passes the ratios it just
+   measured) or recovered from the perf ledger's latest comparable entry —
+   shows one of them beating serial by :data:`PARALLEL_MARGIN`. Ledger
+   entries from oversubscribed runs (more workers than cores) are ignored:
+   their ratios measure contention, not capacity.
+
+Backend choice is size-aware: the Numba JIT pays a multi-second compile on
+first launch, so it needs ``nnz >= JIT_NNZ`` to amortize; below that (or
+when Numba is absent) the NumPy reference wins. The CuPy stub is never
+auto-selected (it round-trips PCIe per wave — see its module docstring).
+
+Decisions publish to the ambient metrics registry
+(``repro.policy.executor_selected`` / ``repro.backend.selected``) so runs
+record *why* they ran the way they did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ExecutorChoice",
+    "SMALL_NNZ",
+    "JIT_NNZ",
+    "PARALLEL_MARGIN",
+    "choose_backend",
+    "choose_executor",
+    "evidence_from_ledger",
+    "publish_choice",
+]
+
+#: below this nnz, coordination overhead dominates any parallel win
+SMALL_NNZ = 200_000
+
+#: below this nnz, the Numba JIT compile cost cannot amortize
+JIT_NNZ = 10_000
+
+#: a parallel executor must beat serial by this measured factor before the
+#: policy will pick it (protects the >= 1.0 auto_vs_serial acceptance bar
+#: against ratio noise around 1.0)
+PARALLEL_MARGIN = 1.05
+
+
+@dataclass(frozen=True)
+class ExecutorChoice:
+    """One resolved auto-policy decision, with its audit trail."""
+
+    executor: str  # "serial" | "threads" | "procs"
+    n_workers: int
+    backend: str  # resolved backend name ("numpy", "numba", ...)
+    reason: str
+
+    def as_dict(self) -> dict:
+        return {
+            "executor": self.executor,
+            "n_workers": self.n_workers,
+            "backend": self.backend,
+            "reason": self.reason,
+        }
+
+
+def choose_backend(nnz: int, k: int, requested: str = "auto") -> tuple[str, str]:
+    """Resolve a backend name for this problem size.
+
+    Returns ``(name, reason)``. An explicit request passes through
+    untouched (``get_backend`` still gates and falls back); ``"auto"``
+    picks Numba only when it is importable and the problem is big enough
+    to amortize the JIT, else the NumPy reference.
+    """
+    if requested not in (None, "auto"):
+        return str(requested), "requested explicitly"
+    from repro.backends import BackendType, available_backends
+
+    if BackendType.NUMBA in available_backends() and nnz >= JIT_NNZ:
+        return (
+            BackendType.NUMBA.value,
+            f"numba present and nnz={nnz} >= {JIT_NNZ} amortizes the JIT",
+        )
+    if BackendType.NUMBA in available_backends():
+        return (
+            BackendType.NUMPY.value,
+            f"nnz={nnz} < {JIT_NNZ}: too small to amortize the numba JIT",
+        )
+    return BackendType.NUMPY.value, "no accelerated backend available"
+
+
+def evidence_from_ledger(ledger, cpu_count: int) -> dict | None:
+    """Latest usable parallel-bench ratios from a perf ledger, or None.
+
+    Usable means: a ``benchmark == "parallel"`` entry recorded on a host
+    with the same ``cpu_count`` (speedup is a property of the silicon) and
+    not flagged ``oversubscribed``. The newest such entry wins.
+    """
+    if ledger is None:
+        return None
+    match = None
+    for entry in ledger.entries():
+        if entry.get("benchmark") != "parallel":
+            continue
+        metrics = entry.get("metrics", {})
+        meta = entry.get("meta", {})
+        if meta.get("cpu_count") != cpu_count:
+            continue
+        if metrics.get("oversubscribed"):
+            continue
+        match = entry
+    if match is None:
+        return None
+    metrics = match["metrics"]
+    out = {}
+    for key in ("threads_vs_serial", "procs_vs_serial"):
+        value = metrics.get(key)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[key] = float(value)
+    config = match.get("config", {})
+    for key in ("n_threads", "n_procs"):
+        if isinstance(config.get(key), int):
+            out[key] = config[key]
+    return out or None
+
+
+def choose_executor(
+    nnz: int,
+    k: int,
+    *,
+    cpu_count: int | None = None,
+    backend: str = "auto",
+    evidence: dict | None = None,
+    ledger=None,
+) -> ExecutorChoice:
+    """Resolve ``--executor auto`` for one training run.
+
+    ``evidence`` is a mapping with measured ``threads_vs_serial`` /
+    ``procs_vs_serial`` ratios (and optionally ``n_threads``/``n_procs``)
+    for *this* host; when absent it is recovered from ``ledger`` via
+    :func:`evidence_from_ledger`. No evidence means serial — auto never
+    gambles on an unmeasured host.
+    """
+    if cpu_count is None:
+        import os
+
+        cpu_count = os.cpu_count() or 1
+    backend_name, backend_reason = choose_backend(nnz, k, backend)
+
+    def serial(reason: str) -> ExecutorChoice:
+        return ExecutorChoice("serial", 1, backend_name, reason)
+
+    if cpu_count <= 1:
+        return serial(f"cpu_count={cpu_count}: parallelism cannot beat serial")
+    if nnz < SMALL_NNZ:
+        return serial(
+            f"nnz={nnz} < {SMALL_NNZ}: too small to amortize worker "
+            "coordination"
+        )
+    if evidence is None:
+        evidence = evidence_from_ledger(ledger, cpu_count)
+    if not evidence:
+        return serial(
+            "no measured evidence (bench ratios or perf-ledger entry for "
+            f"cpu_count={cpu_count}) that a parallel executor beats serial"
+        )
+    candidates = []
+    threads_ratio = evidence.get("threads_vs_serial", 0.0)
+    procs_ratio = evidence.get("procs_vs_serial", 0.0)
+    if threads_ratio >= PARALLEL_MARGIN:
+        candidates.append(
+            ("threads", threads_ratio,
+             int(evidence.get("n_threads") or min(cpu_count, 4)))
+        )
+    if procs_ratio >= PARALLEL_MARGIN:
+        candidates.append(
+            ("procs", procs_ratio,
+             int(evidence.get("n_procs") or min(cpu_count, 4)))
+        )
+    if not candidates:
+        return serial(
+            f"measured threads_vs_serial={threads_ratio:.2f} / "
+            f"procs_vs_serial={procs_ratio:.2f} below the "
+            f"{PARALLEL_MARGIN}x margin"
+        )
+    executor, ratio, n_workers = max(candidates, key=lambda c: c[1])
+    n_workers = max(2, min(n_workers, cpu_count))
+    return ExecutorChoice(
+        executor, n_workers, backend_name,
+        f"measured {executor}_vs_serial={ratio:.2f} >= {PARALLEL_MARGIN}x "
+        f"on a cpu_count={cpu_count} host ({backend_reason})",
+    )
+
+
+def publish_choice(choice: ExecutorChoice) -> None:
+    """Record the decision in the ambient metrics registry (no-op without
+    an active collector)."""
+    from repro.backends import available_backends
+    from repro.obs.context import active_registry
+    from repro.obs.registry import M
+
+    registry = active_registry()
+    if registry is None:
+        return
+    registry.counter(
+        M.POLICY_EXECUTOR_SELECTED, {"executor": choice.executor}
+    ).inc()
+    registry.counter(
+        M.BACKEND_SELECTED,
+        {"backend": choice.backend, "executor": choice.executor},
+    ).inc()
+    for btype in available_backends():
+        registry.gauge(M.BACKEND_AVAILABLE, {"backend": btype.value}).set(1)

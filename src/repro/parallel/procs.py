@@ -45,7 +45,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.core.kernels import UPDATE_ERRSTATE, WaveWorkspace, sgd_serial_update
+from repro.core.kernels import UPDATE_ERRSTATE, WaveWorkspace
 from repro.core.lr_schedule import LearningRateSchedule, NomadSchedule
 from repro.core.model import FactorModel
 from repro.core.trainer import TrainHistory
@@ -141,17 +141,18 @@ class _ShardPlanView:
         self.version = 0
 
 
-def _run_shard(ws, plan_view, p, q, rows, cols, vals, shard_lengths,
-               lr, lam_p, lam_q):
+def _run_shard(ws, wave_update, plan_view, p, q, rows, cols, vals,
+               shard_lengths, lr, lam_p, lam_q):
     """One epoch of one worker's plan shard — the per-process hot loop.
 
     Identical structure to ``BatchHogwild.run_epoch``: one ``bind_plan``
-    gather, then one allocation-free ``wave_update`` per wave, slicing the
-    shard's live lanes (``shard_lengths``, precomputed — padding only ever
-    shortens a wave from the right). Registered in lint ``HOT_FUNCTIONS``.
+    gather, then one ``wave_update`` launch per wave through the
+    backend-bound kernel (the numpy backend binds the workspace's own
+    allocation-free kernel), slicing the shard's live lanes
+    (``shard_lengths``, precomputed — padding only ever shortens a wave
+    from the right). Registered in lint ``HOT_FUNCTIONS``.
     """
     rows_w, cols_w, vals_w = ws.bind_plan(plan_view, rows, cols, vals)
-    wave_update = ws.wave_update
     updates = 0
     i = 0
     with np.errstate(**UPDATE_ERRSTATE):
@@ -165,21 +166,23 @@ def _run_shard(ws, plan_view, p, q, rows, cols, vals, shard_lengths,
     return updates
 
 
-def _run_blocks(ws, prefetcher, p, q, lr, lam_p, lam_q, max_wave):
+def _run_blocks(ws, serial_update, prefetcher, p, q, lr, lam_p, lam_q,
+                max_wave):
     """One epoch of one worker's block set — the out-of-core hot loop.
 
     Blocks arrive through the double-buffered prefetcher (next shard loads
-    while this one computes); each block replays through the
-    serial-equivalent kernel with the paper's chunk size as the wave cap.
-    Registered in lint ``HOT_FUNCTIONS``.
+    while this one computes); each block replays through the backend's
+    serial-equivalent kernel (numpy: :func:`sgd_serial_update`) with the
+    paper's chunk size as the wave cap. Registered in lint
+    ``HOT_FUNCTIONS``.
     """
     updates = 0
     for _, rec in prefetcher:
         rows = rec["u"]
         cols = rec["v"]
         vals = rec["r"]
-        sgd_serial_update(p, q, rows, cols, vals, lr, lam_p, lam_q,
-                          max_wave=max_wave, workspace=ws)
+        serial_update(p, q, rows, cols, vals, lr, lam_p, lam_q,
+                      max_wave=max_wave, workspace=ws)
         updates += len(rec)
     return updates
 
@@ -221,6 +224,9 @@ class _WorkerConfig:
     blocks: list = field(default_factory=list)
     prefetch_depth: int = 2
     max_wave: int = 256
+    #: resolved kernel-backend name (the parent resolves/verifies through
+    #: the registry and ships the name; workers re-resolve by exact name)
+    backend: str = "numpy"
     shuffle_each_epoch: bool = True
     seed_seq: object = None
     # telemetry relay: when the parent traces, each worker spools spans to
@@ -261,7 +267,12 @@ def _worker_main(cfg: _WorkerConfig) -> None:
                            buffer=attach(cfg.stage_name).buf)
         phases = np.ndarray((cfg.n_procs, _PHASE_FIELDS), dtype=np.float64,  # lint: fp64-accumulator -- wall-clock accumulators
                             buffer=attach(cfg.phases_name).buf)
+        from repro.backends import get_backend
+
         ws = WaveWorkspace()
+        backend = get_backend(cfg.backend)
+        wave_update = backend.bind(ws)
+        serial_update = backend.serial_update
         wrng = np.random.default_rng(cfg.seed_seq)
         out_of_core = cfg.store_root is not None
         if out_of_core:
@@ -318,7 +329,8 @@ def _worker_main(cfg: _WorkerConfig) -> None:
                         store, order, depth=cfg.prefetch_depth,
                         telemetry=telemetry,
                     )
-                    n = _run_blocks(ws, prefetcher, model.p, model.q,
+                    n = _run_blocks(ws, serial_update, prefetcher,
+                                    model.p, model.q,
                                     lr, lam_p, lam_q, cfg.max_wave)
                     compute_s = time.perf_counter() - t_c0
                     s = prefetcher.stats
@@ -334,7 +346,8 @@ def _worker_main(cfg: _WorkerConfig) -> None:
                     )
                 else:
                     plan_view.version += 1
-                    n = _run_shard(ws, plan_view, model.p, model.q,
+                    n = _run_shard(ws, wave_update, plan_view,
+                                   model.p, model.q,
                                    rows, cols, vals, shard_lengths,
                                    lr, lam_p, lam_q)
                     compute_s = time.perf_counter() - t_c0
@@ -354,7 +367,9 @@ def _worker_main(cfg: _WorkerConfig) -> None:
             t_d0 = time.perf_counter()
             cfg.done_barrier.wait()
             t_d1 = time.perf_counter()
-            # written after the parent is released, but only read at close
+            # written after the parent is released — the parent must join
+            # (``_SharedCluster.shutdown``) before reading phase totals, or
+            # it races these writes and sees compute > wall
             # (completion-barrier wait: idle until the slowest sibling)
             phases[cfg.wid, _PH_BARRIER] += t_d1 - t_d0
             phases[cfg.wid, _PH_WALL] = t_d1 - born
@@ -412,6 +427,7 @@ class _SharedCluster:
         max_wave: int,
         shuffle_each_epoch: bool,
         seed: int,
+        backend: str = "numpy",
         relay: TraceRelay | None = None,
         trace_origin: float = 0.0,
     ) -> FactorModel:
@@ -460,6 +476,7 @@ class _SharedCluster:
             k=k,
             prefetch_depth=prefetch_depth,
             max_wave=max_wave,
+            backend=backend,
             shuffle_each_epoch=shuffle_each_epoch,
         )
         if store is not None:
@@ -561,26 +578,40 @@ class _SharedCluster:
         )
 
     # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Release and join the worker pool (idempotent), leaving every
+        shared segment alive.
+
+        Splitting this out of :meth:`close` lets the parent join the
+        workers *before* reading the ``phases`` array: each worker writes
+        its final wall/barrier slots after the done barrier releases the
+        parent, so reading phase totals pre-join races those writes and
+        produces reports where per-worker compute exceeds wall (the bug in
+        the shipped BENCH_parallel.json).
+        """
+        if not self._procs:
+            return
+        try:
+            if self.ctl is not None:
+                self.ctl[_CMD] = _CMD_EXIT
+            self.start_barrier.wait(timeout=30.0)
+        except Exception:  # pragma: no cover - pool already dead
+            pass
+        for proc in self._procs:
+            proc.join(timeout=30.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=5.0)
+        self._procs = []
+
     def close(self) -> FactorModel | None:
-        """Shut the pool down and free every segment.
+        """Shut the pool down (if still up) and free every segment.
 
         Returns a private (heap-backed) copy of the model, made before the
         shared segments are unlinked — the shared views die with them.
         """
         model = None
-        if self._procs:
-            try:
-                if self.ctl is not None:
-                    self.ctl[_CMD] = _CMD_EXIT
-                self.start_barrier.wait(timeout=30.0)
-            except Exception:  # pragma: no cover - pool already dead
-                pass
-            for proc in self._procs:
-                proc.join(timeout=30.0)
-                if proc.is_alive():  # pragma: no cover - defensive
-                    proc.terminate()
-                    proc.join(timeout=5.0)
-            self._procs = []
+        self.shutdown()
         if getattr(self, "model", None) is not None:
             model = self.model.copy()
             self.model = None
@@ -631,6 +662,11 @@ class ProcessHogwild:
         Phase accounting — the :class:`~repro.obs.profiler.StallReport` on
         :attr:`stall_report` after :meth:`fit` — is always on; it costs a
         handful of clock reads per worker per epoch.
+    backend:
+        Kernel backend for the per-worker hot loops — a name, a
+        :class:`~repro.backends.base.BackendType`, or an instance. ``None``
+        (default) resolves to the NumPy reference (the historical path, bit
+        for bit at ``n_procs=1``).
 
     Non-deterministic for ``n_procs > 1`` (real cross-process races); use
     the deterministic simulators for reproducibility-sensitive experiments.
@@ -651,6 +687,7 @@ class ProcessHogwild:
         prefetch_depth: int = 2,
         start_method: str | None = None,
         profile: bool | None = None,
+        backend: object | None = None,
     ) -> None:
         if min(k, n_procs, workers, f) <= 0:
             raise ValueError("k, n_procs, workers, f must be positive")
@@ -671,6 +708,12 @@ class ProcessHogwild:
         self.prefetch_depth = prefetch_depth
         self.start_method = start_method
         self.profile = profile
+        #: kernel backend (name / BackendType / instance; None = numpy
+        #: reference). The parent resolves and verifies it once through the
+        #: registry and ships only the resolved *name* to workers, which
+        #: re-resolve by exact name — so a missing accelerator warns once
+        #: in the parent instead of once per worker.
+        self.backend = backend
         self.model: FactorModel | None = None
         self.history: TrainHistory | None = None
         #: updates each worker performed in the last epoch
@@ -730,10 +773,16 @@ class ProcessHogwild:
             import tempfile
 
             relay = TraceRelay(tempfile.mkdtemp(prefix="cumf-relay-"))
+        from repro.backends import get_backend
+
+        # resolve (and verify) in the parent; ship only the name so workers
+        # re-resolve by exact name without re-triggering fallback warnings
+        backend_name = get_backend(self.backend).name.value
         try:
             model = cluster.start(
                 init, plan, train, self.store, self.prefetch_depth,
                 self.f, self.shuffle_each_epoch, self.seed,
+                backend=backend_name,
                 relay=relay,
                 trace_origin=tracer.origin if tracer is not None else 0.0,
             )
@@ -778,6 +827,12 @@ class ProcessHogwild:
                 if target_rmse is not None and te is not None and te <= target_rmse:
                     break
         finally:
+            # join the workers FIRST: their final wall/barrier phase slots
+            # are written after the done barrier releases the parent, so
+            # reading phase totals before the join races those writes and
+            # yields per-worker compute > wall (satellite fix; the
+            # invariant is now enforced by StallReport.validate_dict)
+            cluster.shutdown()
             self.barrier_wait_seconds = cluster.barrier_wait_seconds
             if self.store is not None:
                 self.stage_stats = cluster.stage_stats()

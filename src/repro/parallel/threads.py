@@ -58,15 +58,17 @@ __all__ = ["ThreadedHogwild"]
 SHARED_WRITE_OK = ("counts", "waves", "errors", "phase_secs", "walls", "tele")
 
 
-def _replay_shard(ws, p, q, rows, cols, vals, starts, stops, lr, lam_p, lam_q):
+def _replay_shard(wave_update, p, q, rows, cols, vals, starts, stops,
+                  lr, lam_p, lam_q):
     """Replay one thread's compiled shard — the per-thread hot loop.
 
     ``starts``/``stops`` are the shard's :class:`SerialPlan` segments as
-    plain lists; every kernel launch runs through the thread-private
-    workspace, so the loop allocates nothing after the first wave.
-    Registered in lint ``HOT_FUNCTIONS``.
+    plain lists; ``wave_update`` is the backend-bound per-wave kernel
+    (:meth:`repro.backends.base.KernelBackend.bind` over the thread's
+    private workspace — the numpy backend binds ``ws.wave_update``, so the
+    default loop allocates nothing after the first wave). Registered in
+    lint ``HOT_FUNCTIONS``.
     """
-    wave_update = ws.wave_update
     with np.errstate(**UPDATE_ERRSTATE):
         for start, stop in zip(starts, stops):
             wave_update(
@@ -96,6 +98,7 @@ class ThreadedHogwild:
         seed: int = 0,
         intra_batch: int = 256,
         scale_factor: float = 1.0,
+        backend: object | None = None,
     ) -> None:
         if k <= 0 or n_threads <= 0 or intra_batch <= 0:
             raise ValueError("k, n_threads, intra_batch must be positive")
@@ -106,11 +109,15 @@ class ThreadedHogwild:
         self.seed = seed
         self.intra_batch = intra_batch
         self.scale_factor = scale_factor
+        #: kernel backend (name / BackendType / instance; None = numpy
+        #: reference). Resolved once per fit through the backend registry.
+        self.backend = backend
         self.model: FactorModel | None = None
         self.history: TrainHistory | None = None
         #: number of updates each thread performed in the last epoch
         self.thread_updates: list[int] = []
         self._workspaces: list[WaveWorkspace] = []
+        self._bound_kernels: list = []
         #: phase attribution of the last :meth:`fit`
         self.stall_report: StallReport | None = None
 
@@ -146,7 +153,8 @@ class ThreadedHogwild:
                 plan = SerialPlan.compile(rows, cols, self.intra_batch)
                 t_c0 = time.perf_counter()
                 _replay_shard(
-                    self._workspaces[tid], model.p, model.q, rows, cols, vals,
+                    self._bound_kernels[tid], model.p, model.q,
+                    rows, cols, vals,
                     plan.starts.tolist(), plan.stops.tolist(),
                     lr32, lam32, lam32,
                 )
@@ -212,6 +220,13 @@ class ThreadedHogwild:
         )
         if len(self._workspaces) != self.n_threads:
             self._workspaces = [WaveWorkspace() for _ in range(self.n_threads)]
+        from repro.backends import get_backend
+
+        backend = get_backend(self.backend)
+        # one bound kernel per thread: numpy binds the thread's own
+        # workspace kernel (the historical path); accelerated backends
+        # return their jitted launcher
+        self._bound_kernels = [backend.bind(ws) for ws in self._workspaces]
         order = rng.permutation(train.nnz)
         history = TrainHistory()
         total_updates = [0] * self.n_threads

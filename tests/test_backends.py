@@ -1,0 +1,343 @@
+"""Kernel-backend registry and auto-executor policy.
+
+Covers the dispatch layer introduced with :mod:`repro.backends`:
+
+* the NumPy reference backend is *structurally* the pre-registry path —
+  ``bind`` returns the workspace's own kernel, and every executor's
+  registry-dispatched output is bit-identical to direct kernel calls;
+* optional backends gate through verification (exact backends by
+  ``tobytes``, accelerated by tolerance) and fall back to NumPy with a
+  single per-process warning when absent or failing;
+* :mod:`repro.parallel.policy` decisions are pinned over a
+  (cpu_count, nnz, evidence) grid — serial is the null hypothesis and
+  parallel requires measured evidence beating the margin.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    BackendType,
+    BackendVerificationError,
+    available_backends,
+    backend_status,
+    estimate_memory_bytes,
+    get_backend,
+    verify_backend,
+)
+from repro.backends import registry as backend_registry
+from repro.backends.numpy_backend import NumpyBackend
+from repro.core.kernels import WaveWorkspace, sgd_serial_update, sgd_wave_update
+
+HAVE_NUMBA = importlib.util.find_spec("numba") is not None
+
+
+@pytest.fixture
+def clean_warnings(monkeypatch):
+    """Reset the once-per-process warning dedup so each test observes the
+    warning behaviour from scratch (instances/verification stay cached —
+    they are deterministic)."""
+    monkeypatch.setattr(backend_registry, "_warned", set())
+
+
+def _problem(seed=5, nnz=600, m=60, n=50, k=8):
+    rng = np.random.default_rng(seed)
+    p = rng.standard_normal((m, k)).astype(np.float32)
+    q = rng.standard_normal((n, k)).astype(np.float32)
+    rows = rng.integers(0, m, nnz).astype(np.int64)
+    cols = rng.integers(0, n, nnz).astype(np.int64)
+    vals = rng.standard_normal(nnz).astype(np.float32)
+    return p, q, rows, cols, vals
+
+
+# ---------------------------------------------------------------------------
+# resolution + reference backend
+# ---------------------------------------------------------------------------
+class TestRegistryResolution:
+    def test_none_resolves_to_numpy_reference(self):
+        backend = get_backend(None)
+        assert isinstance(backend, NumpyBackend)
+        assert backend.name is BackendType.NUMPY
+        assert backend.exact
+
+    def test_name_type_and_instance_requests_agree(self):
+        by_name = get_backend("numpy")
+        by_type = get_backend(BackendType.NUMPY)
+        assert by_name is by_type  # one instance per process
+        inst = NumpyBackend()
+        assert get_backend(inst) is inst  # instances pass through, verified
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("tpu")
+
+    def test_available_always_includes_numpy(self):
+        assert BackendType.NUMPY in available_backends()
+        assert (BackendType.NUMBA in available_backends()) == HAVE_NUMBA
+
+    def test_status_map_covers_all_types(self):
+        status = backend_status()
+        assert set(status) == {b.value for b in BackendType}
+        get_backend("numpy")
+        assert backend_status()["numpy"] == "verified"
+
+    def test_bind_is_the_workspace_kernel(self):
+        """The numpy backend's bound callable IS the workspace method —
+        registry dispatch adds literally nothing to the hot loop."""
+        ws = WaveWorkspace()
+        assert get_backend("numpy").bind(ws) == ws.wave_update
+
+    def test_estimate_memory_scales_sanely(self):
+        small = estimate_memory_bytes(1000, 800, 16, 10_000)
+        big = estimate_memory_bytes(1000, 800, 16, 1_000_000)
+        assert 0 < small < big
+        assert estimate_memory_bytes(
+            1000, 800, 16, 10_000, n_workers=4
+        ) > small
+
+
+class TestNumpyBitIdentity:
+    def test_wave_update_bit_identical_to_reference(self):
+        backend = get_backend("numpy")
+        p_ref, q_ref, rows, cols, vals = _problem()
+        p_got, q_got = p_ref.copy(), q_ref.copy()
+        ws = WaveWorkspace()
+        bound = backend.bind(ws)
+        for lo in range(0, len(rows), 64):
+            sl = slice(lo, lo + 64)
+            sgd_wave_update(p_ref, q_ref, rows[sl], cols[sl], vals[sl],
+                            0.05, 0.02, 0.02)
+            bound(p_got, q_got, rows[sl], cols[sl], vals[sl],
+                  0.05, 0.02, 0.02)
+        assert p_ref.tobytes() == p_got.tobytes()
+        assert q_ref.tobytes() == q_got.tobytes()
+
+    def test_serial_update_bit_identical_to_reference(self):
+        backend = get_backend("numpy")
+        p_ref, q_ref, rows, cols, vals = _problem(seed=6)
+        p_got, q_got = p_ref.copy(), q_ref.copy()
+        sgd_serial_update(p_ref, q_ref, rows, cols, vals, 0.05, 0.02, 0.02,
+                          max_wave=32)
+        backend.serial_update(p_got, q_got, rows, cols, vals,
+                              0.05, 0.02, 0.02, max_wave=32)
+        assert p_ref.tobytes() == p_got.tobytes()
+        assert q_ref.tobytes() == q_got.tobytes()
+
+    def test_batch_hogwild_dispatch_is_bit_stable(self, tiny_problem):
+        """BatchHogwild through the registry (backend='numpy') matches the
+        default (backend=None) run bit for bit."""
+        from repro.core.hogwild import BatchHogwild
+        from repro.core.model import FactorModel
+
+        results = []
+        for backend in (None, "numpy"):
+            sched = BatchHogwild(workers=32, f=64, seed=9, backend=backend)
+            model = FactorModel.initialize(
+                tiny_problem.train.n_rows, tiny_problem.train.n_cols, 8,
+                seed=9,
+            )
+            for _ in range(2):
+                sched.run_epoch(model, tiny_problem.train, 0.05, 0.02)
+            results.append((model.p.tobytes(), model.q.tobytes()))
+        assert results[0] == results[1]
+
+
+# ---------------------------------------------------------------------------
+# verification gate + fallback
+# ---------------------------------------------------------------------------
+class TestVerificationAndFallback:
+    def test_broken_backend_fails_the_gate(self):
+        class BrokenBackend(NumpyBackend):
+            def bind(self, workspace):
+                kernel = workspace.wave_update
+
+                def off_by_lr(p, q, rows, cols, vals, lr, lam_p, lam_q):
+                    kernel(p, q, rows, cols, vals, lr * 1.5, lam_p, lam_q)
+
+                return off_by_lr
+
+        with pytest.raises(BackendVerificationError, match="bit identity"):
+            verify_backend(BrokenBackend())
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba installed")
+    def test_missing_numba_falls_back_with_single_warning(
+        self, clean_warnings
+    ):
+        with pytest.warns(RuntimeWarning, match="numba"):
+            backend = get_backend("numba")
+        assert isinstance(backend, NumpyBackend)
+        # second request: same fallback, no second warning
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert isinstance(get_backend("numba"), NumpyBackend)
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba installed")
+    def test_auto_skips_absent_backends_silently(self, clean_warnings):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert isinstance(get_backend("auto"), NumpyBackend)
+
+    def test_fallbacks_counted_in_ambient_registry(self, clean_warnings):
+        if HAVE_NUMBA:
+            pytest.skip("numba installed; no fallback to count")
+        from repro.obs import TelemetryCollector, activate
+        from repro.obs.registry import M
+
+        collector = TelemetryCollector(run_label="backend-fallback")
+        with activate(collector), warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            get_backend("numba")
+            get_backend("numba")  # warning dedups; the counter must not
+        assert collector.registry.value(
+            M.BACKEND_FALLBACKS, {"backend": "numba"}
+        ) == 2
+
+    @pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+    def test_numba_passes_tolerance_gate(self):
+        backend = get_backend("numba")
+        assert backend.name is BackendType.NUMBA
+        assert not backend.exact
+        # tolerance agreement on a racy problem (duplicates allowed):
+        # conflict-free segments of a serial replay must agree closely
+        p_ref, q_ref, rows, cols, vals = _problem(seed=8)
+        p_got, q_got = p_ref.copy(), q_ref.copy()
+        sgd_serial_update(p_ref, q_ref, rows, cols, vals, 0.05, 0.02, 0.02,
+                          max_wave=32)
+        backend.serial_update(p_got, q_got, rows, cols, vals,
+                              0.05, 0.02, 0.02, max_wave=32)
+        assert np.allclose(p_ref, p_got, rtol=1e-4, atol=1e-5)
+        assert np.allclose(q_ref, q_got, rtol=1e-4, atol=1e-5)
+
+
+# ---------------------------------------------------------------------------
+# auto-policy decisions
+# ---------------------------------------------------------------------------
+class TestExecutorPolicy:
+    GOOD_EVIDENCE = {"threads_vs_serial": 1.8, "procs_vs_serial": 2.4,
+                     "n_threads": 4, "n_procs": 4}
+
+    def test_one_core_is_always_serial(self):
+        from repro.parallel.policy import choose_executor
+
+        for nnz in (1_000, 500_000, 50_000_000):
+            choice = choose_executor(nnz, 32, cpu_count=1,
+                                     evidence=self.GOOD_EVIDENCE)
+            assert choice.executor == "serial"
+            assert choice.n_workers == 1
+            assert "cpu_count=1" in choice.reason
+
+    def test_small_problems_stay_serial_on_any_host(self):
+        from repro.parallel.policy import SMALL_NNZ, choose_executor
+
+        choice = choose_executor(SMALL_NNZ - 1, 32, cpu_count=16,
+                                 evidence=self.GOOD_EVIDENCE)
+        assert choice.executor == "serial"
+        assert "too small" in choice.reason
+
+    def test_no_evidence_means_serial(self):
+        from repro.parallel.policy import choose_executor
+
+        choice = choose_executor(5_000_000, 32, cpu_count=8, ledger=None)
+        assert choice.executor == "serial"
+        assert "no measured evidence" in choice.reason
+
+    def test_evidence_below_margin_stays_serial(self):
+        from repro.parallel.policy import choose_executor
+
+        choice = choose_executor(
+            5_000_000, 32, cpu_count=8,
+            evidence={"threads_vs_serial": 1.02, "procs_vs_serial": 0.9},
+        )
+        assert choice.executor == "serial"
+        assert "below" in choice.reason
+
+    def test_best_measured_executor_wins(self):
+        from repro.parallel.policy import choose_executor
+
+        choice = choose_executor(5_000_000, 32, cpu_count=8,
+                                 evidence=self.GOOD_EVIDENCE)
+        assert choice.executor == "procs"  # 2.4 > 1.8
+        assert choice.n_workers == 4
+        threads_better = dict(self.GOOD_EVIDENCE,
+                              threads_vs_serial=3.0)
+        assert choose_executor(
+            5_000_000, 32, cpu_count=8, evidence=threads_better
+        ).executor == "threads"
+
+    def test_workers_clamped_to_cores(self):
+        from repro.parallel.policy import choose_executor
+
+        evidence = dict(self.GOOD_EVIDENCE, n_procs=16)
+        choice = choose_executor(5_000_000, 32, cpu_count=2,
+                                 evidence=evidence)
+        assert choice.executor == "procs"
+        assert choice.n_workers == 2
+
+    def test_backend_choice_is_size_aware(self):
+        from repro.parallel.policy import JIT_NNZ, choose_backend
+
+        # explicit request passes through untouched
+        assert choose_backend(100, 8, "numpy")[0] == "numpy"
+        assert choose_backend(100, 8, "cupy")[0] == "cupy"
+        name, reason = choose_backend(JIT_NNZ * 10, 8, "auto")
+        if HAVE_NUMBA:
+            assert name == "numba"
+            assert choose_backend(JIT_NNZ - 1, 8, "auto")[0] == "numpy"
+        else:
+            assert name == "numpy"
+            assert "no accelerated backend" in reason
+
+    def test_evidence_from_ledger_filters(self, tmp_path):
+        from repro.obs.ledger import PerfLedger
+        from repro.parallel.policy import evidence_from_ledger
+
+        def entry(cpu_count, threads_ratio, oversubscribed=False):
+            return {
+                "benchmark": "parallel",
+                "schema_version": 3,
+                "config": {"n_threads": 4, "n_procs": 4},
+                "meta": {"cpu_count": cpu_count},
+                "metrics": {
+                    "threads_vs_serial": threads_ratio,
+                    "procs_vs_serial": 1.0,
+                    "oversubscribed": oversubscribed,
+                },
+            }
+
+        ledger = PerfLedger(tmp_path / "ledger.jsonl")
+        ledger.append(entry(8, 1.5))
+        ledger.append(entry(4, 2.0))           # wrong cpu_count
+        ledger.append(entry(8, 9.9, True))     # oversubscribed: ignored
+        ledger.append(entry(8, 1.7))           # newest comparable: wins
+        ledger.append({"benchmark": "hot_path", "metrics": {}})
+        evidence = evidence_from_ledger(ledger, cpu_count=8)
+        assert evidence["threads_vs_serial"] == 1.7
+        assert evidence["n_threads"] == 4
+        assert "oversubscribed" not in evidence
+        assert evidence_from_ledger(ledger, cpu_count=64) is None
+        assert evidence_from_ledger(None, cpu_count=8) is None
+
+    def test_publish_choice_emits_policy_metrics(self):
+        from repro.obs import TelemetryCollector, activate
+        from repro.obs.registry import M
+        from repro.parallel.policy import ExecutorChoice, publish_choice
+
+        collector = TelemetryCollector(run_label="policy")
+        with activate(collector):
+            publish_choice(
+                ExecutorChoice("serial", 1, "numpy", "pinned by test")
+            )
+        assert collector.registry.value(
+            M.POLICY_EXECUTOR_SELECTED, {"executor": "serial"}
+        ) == 1
+        assert collector.registry.value(
+            M.BACKEND_SELECTED, {"backend": "numpy", "executor": "serial"}
+        ) == 1
+        assert collector.registry.value(
+            M.BACKEND_AVAILABLE, {"backend": "numpy"}
+        ) == 1

@@ -131,12 +131,12 @@ class TestBenchParallelSmoke:
         ).as_dict()
 
     def test_validate_rejects_malformed_documents(self, bench_par):
-        metrics = {"cpu_count": 4}
+        metrics = {"cpu_count": 4, "oversubscribed": False}
         for key in bench_par.VARIANTS:
             metrics[f"{key}_epoch_seconds"] = 0.1
             metrics[f"{key}_updates_per_sec"] = 1e6
         metrics.update(threads_vs_serial=1.5, procs_vs_serial=2.0,
-                       ooc_vs_procs=0.9, ooc_overhead=0.9)
+                       ooc_vs_procs=0.9, auto_vs_serial=2.0)
         good = {
             "benchmark": "parallel",
             "schema_version": bench_par.SCHEMA_VERSION,
@@ -144,6 +144,8 @@ class TestBenchParallelSmoke:
             "meta": {"git_sha": "abc123def456", "timestamp_utc": "t",
                      "hostname": "h", "cpu_count": 4},
             "metrics": metrics,
+            "auto": {"executor": "procs", "n_workers": 4,
+                     "backend": "numpy", "reason": "measured"},
             "stall_report": self._stall_report("procs"),
             "stall_report_ooc": self._stall_report("procs_ooc"),
             "bit_identical": True,
@@ -157,8 +159,17 @@ class TestBenchParallelSmoke:
             lambda d: d["metrics"].update(procs_vs_serial=0),
             lambda d: d["metrics"].update(cpu_count=1.5),
             lambda d: d["metrics"].pop("ooc_vs_procs"),
-            # the deprecated alias must track the canonical value
-            lambda d: d["metrics"].update(ooc_overhead=2.0),
+            # v3 removed the deprecated alias outright
+            lambda d: d["metrics"].update(ooc_overhead=0.9),
+            # the acceptance bar: auto never loses to serial
+            lambda d: d["metrics"].update(auto_vs_serial=0.8),
+            lambda d: d["metrics"].pop("auto_vs_serial"),
+            lambda d: d["metrics"].pop("oversubscribed"),
+            lambda d: d["metrics"].update(oversubscribed=1),
+            lambda d: d.pop("auto"),
+            lambda d: d["auto"].update(executor="gpu"),
+            lambda d: d["auto"].update(n_workers=0),
+            lambda d: d["auto"].update(backend=""),
             lambda d: d.pop("meta"),
             lambda d: d["meta"].pop("hostname"),
             lambda d: d.pop("stall_report"),
@@ -168,6 +179,12 @@ class TestBenchParallelSmoke:
             # fractions must sum to 1 ± 0.02 per worker
             lambda d: d["stall_report"]["workers"][0]["fractions"].update(
                 compute=0.2),
+            # measured phase seconds must fit inside the wall clock
+            lambda d: (
+                d["stall_report"]["workers"][0].update(wall_seconds=0.5),
+                d["stall_report"]["workers"][0]["fractions"].update(
+                    compute=0.8, barrier=0.1, replay=0.1),
+            ),
         ):
             bad = json.loads(json.dumps(good))
             mutate(bad)
@@ -176,7 +193,8 @@ class TestBenchParallelSmoke:
 
     def test_quick_document_stall_reports(self, bench_par, tmp_path):
         """The emitted document embeds per-worker phase attribution whose
-        fractions sum to 1 — the acceptance invariant."""
+        fractions sum to 1 and whose measured seconds fit inside each
+        worker's wall clock — the acceptance invariants."""
         import math
 
         out = tmp_path / "BENCH_parallel.json"
@@ -189,8 +207,14 @@ class TestBenchParallelSmoke:
             for w in report["workers"]:
                 total = math.fsum(w["fractions"][p] for p in report["phases"])
                 assert abs(total - 1.0) <= 0.02
-        # the rename kept the deprecated alias in lockstep
-        assert doc["metrics"]["ooc_overhead"] == doc["metrics"]["ooc_vs_procs"]
+                measured = math.fsum(
+                    w["seconds"][p] for p in report["phases"] if p != "replay"
+                )
+                assert measured <= w["wall_seconds"] * 1.02 + 1e-6
+        # v3 dropped the deprecated alias and grew the auto decision
+        assert "ooc_overhead" not in doc["metrics"]
+        assert doc["metrics"]["auto_vs_serial"] >= 1.0
+        assert doc["auto"]["executor"] in ("serial", "threads", "procs")
 
     def test_default_out_is_repo_root(self, bench_par):
         assert bench_par.DEFAULT_OUT == BENCHMARKS.parent / "BENCH_parallel.json"

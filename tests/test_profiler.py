@@ -240,6 +240,23 @@ class TestStallReport:
         with pytest.raises(ValueError, match="fractions sum"):
             StallReport.validate_dict(bad)
 
+    def test_validate_rejects_measured_exceeding_wall(self):
+        """Measured phase seconds > wall means the producer read the
+        accumulators mid-write (the ProcessHogwild pre-join race); the
+        replay-residual clamp must not be allowed to mask it."""
+        report = StallReport(
+            "procs",
+            [WorkerPhases(0, 1.0, {"compute": 1.3, "barrier": 0.2})],
+        )
+        # fractions still sum to 1 (stretched denominator) — only the
+        # new wall-clock invariant catches the corruption
+        state = report.as_dict()
+        assert math.fsum(
+            state["workers"][0]["fractions"].values()
+        ) == pytest.approx(1.0)
+        with pytest.raises(ValueError, match="exceed wall_seconds"):
+            StallReport.validate_dict(state)
+
     def test_phase_timer_accumulates(self):
         ticks = iter([0.0, 1.0, 1.0, 1.5])
         timer = PhaseTimer(clock=lambda: next(ticks))
@@ -411,6 +428,59 @@ class TestPerfLedger:
         assert result.ok
         assert result.missing == ["hot_path"]
         assert "no comparable ledger entry" in result.format()
+
+    def test_gated_metrics_families(self):
+        from repro.obs.ledger import gated_metrics, is_speedup_metric
+
+        metrics = {
+            "serial_updates_per_sec": 1e6,  # gated (throughput)
+            "speedup": 2.0,                 # gated (speedup)
+            "threads_vs_serial": 1.5,       # gated (speedup ratio)
+            "auto_vs_serial": 1.0,          # gated (speedup ratio)
+            "ooc_vs_procs": 0.9,            # lower-is-better: never gated
+            "oversubscribed": True,         # bool flag: never gated
+            "cpu_count": 4,                 # not a gated family
+        }
+        gated = gated_metrics(metrics)
+        assert set(gated) == {"serial_updates_per_sec", "speedup",
+                              "threads_vs_serial", "auto_vs_serial"}
+        assert is_speedup_metric("auto_vs_serial")
+        assert is_speedup_metric("speedup")
+        assert not is_speedup_metric("ooc_vs_procs")
+        assert not is_speedup_metric("serial_updates_per_sec")
+
+    def test_oversubscribed_run_skips_speedup_gates(self, tmp_path):
+        """An oversubscribed run keeps its throughput gates but never
+        fails on speedup ratios — they measure contention, not code."""
+        def par_doc(ups, ratio, oversubscribed):
+            return {
+                "benchmark": "parallel",
+                "schema_version": 3,
+                "config": {"nnz": 1000, "k": 8},
+                "metrics": {
+                    "serial_updates_per_sec": ups,
+                    "threads_vs_serial": ratio,
+                    "oversubscribed": oversubscribed,
+                },
+            }
+
+        ledger = PerfLedger(tmp_path / "ledger.jsonl")
+        ledger.append(par_doc(1e6, 2.0, False))
+        # ratio halves but the run is oversubscribed: skipped, still ok
+        result = perf_diff([par_doc(1e6, 0.5, True)], ledger)
+        assert result.ok
+        assert result.skipped == ["parallel:threads_vs_serial"]
+        assert "oversubscribed run" in result.format()
+        # same ratio drop on a non-oversubscribed run: real regression
+        result = perf_diff([par_doc(1e6, 0.5, False)], ledger)
+        assert not result.ok
+        assert [c.metric for c in result.regressions] == ["threads_vs_serial"]
+        # throughput still gates even when oversubscribed
+        result = perf_diff([par_doc(0.5e6, 2.0, True)], ledger)
+        assert not result.ok
+        assert [c.metric for c in result.regressions] == (
+            ["serial_updates_per_sec"]
+        )
 
 
 class TestPerfDiffCli:
