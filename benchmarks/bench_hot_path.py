@@ -46,7 +46,8 @@ from repro.obs.profiler import PhaseTimer
 from repro.obs.relay import WorkerTelemetry
 
 # v2: +meta provenance stamp (bench_meta), +profiler_overhead budget gate
-SCHEMA_VERSION = 2
+# v3: +sanitizer_overhead budget gate (reprosan --sanitize all)
+SCHEMA_VERSION = 3
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_hot_path.json"
 
 #: Worker-side profiling (phase timer + telemetry span + spool flush per
@@ -56,6 +57,12 @@ MAX_PROFILER_OVERHEAD = 0.05
 _PROF_MIN_ROUNDS = 6
 _PROF_MAX_ROUNDS = 30
 _PROF_CONFIDENT = 0.03
+
+#: Full ``--sanitize all`` instrumentation (shadow access log + sampled
+#: numeric checks + epoch-end model sweep) must cost < 10% of a serial
+#: epoch. Enforced by :func:`validate_result`.
+MAX_SANITIZER_OVERHEAD = 0.10
+_SAN_CONFIDENT = 0.06
 
 #: The acceptance configuration: nnz >= 1e6, k = 32, s = 128 workers.
 REFERENCE_CONFIG = {
@@ -177,6 +184,62 @@ def _profiler_overhead(sched, model, train) -> float:
     return prof / base - 1.0
 
 
+def _sanitizer_overhead(sched, model, train) -> float:
+    """Relative cost of ``--sanitize all`` on the serial hot path.
+
+    Pairs each bare epoch with an adjacent epoch run under an ambient
+    :class:`~repro.san.core.Sanitizer` in full mode — every wave's
+    row/col coverage appended to the shadow access log, one residual
+    check per ``sample_stride`` waves, and the deterministic epoch-end
+    model sweep — and reports the **median of per-round ratios**.
+    Unlike the ratio-of-minima used by :func:`_profiler_overhead`, a
+    paired ratio compares two runs executed back to back, so sustained
+    clock-speed drift (common on shared runners) hits both sides of
+    each ratio equally instead of inflating whichever variant hit the
+    slow window; alternating which variant goes first cancels the
+    residual within-round bias, and the median rejects GC/interrupt
+    outliers. The access log is cleared between sanitized rounds so the
+    measurement stays allocation-bounded. Sampling is adaptive: stops
+    early once the bound is comfortably met.
+    """
+    from repro.san import Sanitizer, activate_sanitizer
+
+    san = Sanitizer("all")
+
+    def bare() -> float:
+        t0 = time.perf_counter()
+        sched.run_epoch(model, train, 0.05, 0.05)
+        return time.perf_counter() - t0
+
+    def sanitized() -> float:
+        san.race_log.clear()
+        t0 = time.perf_counter()
+        with activate_sanitizer(san):
+            sched.run_epoch(model, train, 0.05, 0.05)
+        return time.perf_counter() - t0
+
+    def median(values: list[float]) -> float:
+        ordered = sorted(values)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+    bare(), sanitized()  # warm both paths
+    ratios: list[float] = []
+    while len(ratios) < _PROF_MAX_ROUNDS:
+        if len(ratios) % 2:
+            instrumented, base = sanitized(), bare()
+        else:
+            base, instrumented = bare(), sanitized()
+        ratios.append(instrumented / base)
+        if len(ratios) >= _PROF_MIN_ROUNDS and (
+            median(ratios) - 1.0 < _SAN_CONFIDENT
+        ):
+            break
+    return median(ratios) - 1.0
+
+
 def run_config(config: dict) -> dict:
     """Race both implementations over one dataset; return the result doc."""
     spec = DatasetSpec(
@@ -225,6 +288,7 @@ def run_config(config: dict) -> dict:
     plan_repermutes = sched.plan_stats.repermutes
     # after bit-identity capture: extra epochs only advance the plan RNG
     profiler_overhead = _profiler_overhead(sched, model, train)
+    sanitizer_overhead = _sanitizer_overhead(sched, model, train)
     return {
         "benchmark": "hot_path",
         "schema_version": SCHEMA_VERSION,
@@ -236,6 +300,7 @@ def run_config(config: dict) -> dict:
             "speedup": speedup,
             "updates_per_sec": train.nnz / epoch_seconds,
             "profiler_overhead": profiler_overhead,
+            "sanitizer_overhead": sanitizer_overhead,
             "plan_compiles": plan_compiles,
             "plan_repermutes": plan_repermutes,
             "workspace_allocations": ws.allocations,
@@ -278,6 +343,13 @@ def validate_result(doc: dict) -> None:
     if overhead >= MAX_PROFILER_OVERHEAD:
         fail(f"metrics.profiler_overhead {overhead:.1%} exceeds the "
              f"{MAX_PROFILER_OVERHEAD:.0%} budget")
+    san_overhead = metrics.get("sanitizer_overhead")
+    if not isinstance(san_overhead, (int, float)):
+        fail(f"metrics.sanitizer_overhead must be a number, "
+             f"got {san_overhead!r}")
+    if san_overhead >= MAX_SANITIZER_OVERHEAD:
+        fail(f"metrics.sanitizer_overhead {san_overhead:.1%} exceeds the "
+             f"{MAX_SANITIZER_OVERHEAD:.0%} budget")
     for key in ("plan_compiles", "plan_repermutes",
                 "workspace_allocations", "workspace_bytes"):
         value = metrics.get(key)
@@ -329,6 +401,8 @@ def main(argv: list[str] | None = None) -> dict:
           f"bit-identical: {doc['bit_identical']}")
     print(f"profiler overhead: {m['profiler_overhead'] * 100:+.2f}% "
           f"(budget {MAX_PROFILER_OVERHEAD:.0%})")
+    print(f"sanitizer overhead: {m['sanitizer_overhead'] * 100:+.2f}% "
+          f"(budget {MAX_SANITIZER_OVERHEAD:.0%})")
     print(f"wrote {args.out}")
     return doc
 

@@ -70,6 +70,7 @@ from repro.obs.ledger import PerfLedger, bench_meta
 from repro.obs.profiler import StallReport
 from repro.parallel import ProcessHogwild, ThreadedHogwild
 from repro.parallel.policy import choose_executor
+from repro.san import MODES, SanReport, activate_sanitizer, sanitizer_from_mode
 
 # v2: +meta provenance stamp (bench_meta), +stall_report / stall_report_ooc
 # phase attribution, ooc_overhead renamed ooc_vs_procs (deprecated alias
@@ -131,6 +132,30 @@ def _run_procs(config: dict, train, store: BlockStore | None = None) -> ProcessH
     )
     est.fit(train if store is None else None, epochs=config["epochs"])
     return est
+
+
+def _sanitized_probe(config: dict, mode: str) -> dict:
+    """One sanitized :class:`ProcessHogwild` fit over the bench dataset.
+
+    Runs outside the timing loops (the sanitizer's cost is gated
+    separately, by ``bench_hot_path``); the report — findings, benign
+    race rate, lifecycle pairing — is embedded as the result doc's
+    optional ``sanitizer`` block, where :func:`validate_result` fails
+    the run on any finding.
+    """
+    spec = DatasetSpec(
+        name="parallel-san", m=config["m"], n=config["n"], k=config["k"],
+        n_train=config["nnz"], n_test=1_000,
+    )
+    train = make_synthetic(spec, seed=1).train
+    san = sanitizer_from_mode(mode)
+    est = ProcessHogwild(
+        k=config["k"], n_procs=config["n_procs"], lam=0.05,
+        seed=config["seed"], workers=config["workers"], f=config["f"],
+    )
+    with activate_sanitizer(san):
+        est.fit(train, epochs=config["epochs"])
+    return san.finalize().as_dict()
 
 
 def _bit_identity_check() -> bool:
@@ -321,6 +346,15 @@ def validate_result(doc: dict) -> None:
         fail("stall_report_ooc.executor must be 'procs_ooc'")
     if not isinstance(doc.get("bit_identical"), bool):
         fail("bit_identical must be a bool")
+    if "sanitizer" in doc:  # optional block, present under --sanitize
+        try:
+            SanReport.validate_dict(doc["sanitizer"])
+        except ValueError as exc:
+            fail(f"sanitizer: {exc}")
+        if not doc["sanitizer"]["clean"]:
+            found = doc["sanitizer"]["findings"]
+            fail(f"sanitizer reported {len(found)} finding(s): "
+                 + "; ".join(f["message"] for f in found[:3]))
 
 
 def main(argv: list[str] | None = None) -> dict:
@@ -338,10 +372,17 @@ def main(argv: list[str] | None = None) -> dict:
         help="also append the result to this perf ledger JSONL "
              "(e.g. results/perf_ledger.jsonl)",
     )
+    parser.add_argument(
+        "--sanitize", choices=MODES, default="off",
+        help="also run one reprosan-instrumented procs fit and embed its "
+             "report; any finding fails validation (default: off)",
+    )
     args = parser.parse_args(argv)
 
     config = QUICK_CONFIG if args.quick else REFERENCE_CONFIG
     doc = run_config(config)
+    if args.sanitize != "off":
+        doc["sanitizer"] = _sanitized_probe(config, args.sanitize)
     validate_result(doc)
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(doc, indent=2) + "\n")
@@ -367,6 +408,11 @@ def main(argv: list[str] | None = None) -> dict:
               "measure contention, not capacity; perf-diff will not gate "
               "on them")
     print(f"n_procs=1 bit-identical to serial: {doc['bit_identical']}")
+    if "sanitizer" in doc:
+        s = doc["sanitizer"]
+        rate = s["race"]["race_rate"]
+        print(f"sanitizer ({s['mode']}): clean={s['clean']} "
+              f"findings={len(s['findings'])} benign race rate={rate:.2%}")
     agg = doc["stall_report"]["aggregate"]["fractions"]
     print("procs stall attribution: " + "  ".join(
         f"{phase}={agg[phase]:.1%}" for phase in doc["stall_report"]["phases"]

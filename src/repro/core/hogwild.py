@@ -41,6 +41,7 @@ from repro.obs.hooks import (
     resolve_hooks,
     resolve_kernel_stride,
 )
+from repro.san.core import active_sanitizer
 from repro.sched.conflict import collision_fraction
 from repro.sched.plan import EpochPlan, PlanStats
 
@@ -165,6 +166,19 @@ class BatchHogwild:
         collision_acc = 0.0
         n_waves = 0
         plan = self.compiled_plan(ratings.nnz)
+        # inline sanitizer hooks: the epoch's coverage is captured in one
+        # O(1) record after the loop (the bound wave matrices ARE the
+        # coverage), so the hot loop pays one branch per wave plus a
+        # sampled residual check — begin_epoch seals the previous
+        # epoch's recorded views before bind_plan regathers them
+        san = active_sanitizer()
+        sentry = None
+        san_stride = san_epoch = 0
+        if san is not None:
+            san_epoch = san.begin_epoch(wid=0)
+            if san.check_numeric:
+                sentry = san.numeric
+                san_stride = sentry.sample_stride
         ws = self.workspace
         ws.reserve(plan.width, model.p.shape[1],
                    half_precision=model.p.dtype != np.float32)
@@ -178,6 +192,8 @@ class BatchHogwild:
         # registry dispatch: numpy resolves to ws.wave_update itself, so the
         # default path is the historical one, bit for bit
         wave_update = self.resolved_backend().bind(ws)
+        if sentry is not None:
+            sentry.check_dtypes(p, q, None, 0, san_epoch)
         # pre-coerced scalars: the kernel skips its per-call conversions
         lr = np.float32(lr)
         lam_p = np.float32(lam_p)
@@ -194,8 +210,10 @@ class BatchHogwild:
                 if track:
                     collision_acc += collision_fraction(wr, wc)
                     n_waves += 1
-                wave_update(p, q, wr, wc, wv, lr, lam_p, lam_q)
+                err = wave_update(p, q, wr, wc, wv, lr, lam_p, lam_q)
                 updates += w
+                if sentry is not None and not (i - 1) % san_stride:
+                    sentry.check_wave(err, 0, san_epoch, i - 1)
                 if observe:
                     pending_waves += 1
                     pending_updates += w
@@ -218,4 +236,10 @@ class BatchHogwild:
             )
         if self.track_collisions and n_waves:
             self.collision_history.append(collision_acc / n_waves)
+        if san is not None:
+            san.epoch_executed(
+                rows_w, cols_w, plan.lengths, wid=0, epoch=san_epoch
+            )
+            # seals immediately, while the bound views are still live
+            san.epoch_end(p, q, wid=0, epoch=san_epoch)
         return updates

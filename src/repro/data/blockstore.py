@@ -231,11 +231,29 @@ class BlockStore:
                 yield (bi, bj)
 
     def load(self, bi: int, bj: int, mmap: bool = True) -> np.ndarray:
-        """One shard's COO records — a read-only memory map by default."""
+        """One shard's COO records — a read-only memory map by default.
+
+        Under an ambient sanitizer (``--sanitize races``/``all``) every
+        mapping is entered in the lifecycle ledger, with the release
+        observed through a ``weakref.finalize`` on the returned array —
+        CPython refcounting makes the release deterministic at the end of
+        :meth:`load_into`, so an un-released mapping at finalize time is a
+        genuine pin (``lifecycle-mmap-leak``).
+        """
         path = self.path(bi, bj)
-        if mmap:
-            return np.load(path, mmap_mode="r", allow_pickle=False)
-        return np.load(path, allow_pickle=False)
+        if not mmap:
+            return np.load(path, allow_pickle=False)
+        rec = np.load(path, mmap_mode="r", allow_pickle=False)
+        from repro.san.core import active_sanitizer
+
+        san = active_sanitizer()
+        if san is not None and san.check_lifecycle:
+            import weakref
+
+            tracker = san.lifecycle
+            tracker.note_mmap_open(str(path))
+            weakref.finalize(rec, tracker.note_mmap_release, str(path))
+        return rec
 
     def load_into(self, bi: int, bj: int, out: np.ndarray) -> int:
         """Stage one shard into a preallocated record buffer; returns nnz.
@@ -407,6 +425,10 @@ class BlockPrefetcher:
         self.stats = PrefetchStats()
 
     def __iter__(self) -> Iterator[tuple[tuple[int, int], np.ndarray]]:
+        from repro.san.core import active_sanitizer
+
+        san = active_sanitizer()
+        sentry = san.numeric if san is not None and san.check_numeric else None
         stats = self.stats
         telemetry = self.telemetry
         slots: queue.Queue = queue.Queue()
@@ -456,6 +478,10 @@ class BlockPrefetcher:
                 if isinstance(item, _LoaderFailure):
                     raise item.exc
                 slot, coords, n = item
+                if sentry is not None:
+                    # verify the staged ratings are finite before compute
+                    # consumes them (catches corrupt shards at the source)
+                    sentry.check_block(buffers[slot]["r"][:n], coords)
                 yield coords, buffers[slot][:n]
                 slots.put(slot)
             thread.join()

@@ -148,6 +148,17 @@ def _build_parser() -> argparse.ArgumentParser:
     train_p.add_argument("--checkpoint-dir", type=Path,
                          help="recovery checkpoint directory for --fault-plan "
                          "(default: a temporary directory)")
+    train_p.add_argument("--sanitize", default="off",
+                         choices=("off", "races", "numeric", "all"),
+                         help="run under the reprosan runtime sanitizer: "
+                         "'races' audits the shadow access log (write "
+                         "overlaps, ownership, benign race rate) and the "
+                         "shm/mmap lifecycle, 'numeric' adds sampled "
+                         "NaN/Inf/overflow/fp64-leak checks, 'all' both; "
+                         "exits nonzero on any finding")
+    train_p.add_argument("--san-report", type=Path,
+                         help="write the sanitizer report (findings + "
+                         "race-rate table) as JSON here")
     train_p.add_argument("--trace", type=Path,
                          help="run under telemetry and write a merged "
                          "multi-lane Chrome trace here (one lane per "
@@ -259,6 +270,32 @@ def _cmd_all(args) -> int:
 
 
 def _cmd_train(args) -> int:
+    from repro.san import activate_sanitizer, sanitizer_from_mode
+
+    san = sanitizer_from_mode(args.sanitize)
+    if san is None:
+        return _cmd_train_inner(args)
+    # activation composes with --trace: the sanitizer wraps the collector
+    # so both see the same fit (numeric failures raise out of fit itself)
+    with activate_sanitizer(san):
+        rc = _cmd_train_inner(args)
+    report = san.finalize()
+    print()
+    print(report.format())
+    if args.san_report is not None:
+        import json
+
+        args.san_report.parent.mkdir(parents=True, exist_ok=True)
+        args.san_report.write_text(json.dumps(report.as_dict(), indent=2))
+        print(f"sanitizer report -> {args.san_report}")
+    if not report.clean:
+        print(f"sanitizer: {len(report.findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    return rc
+
+
+def _cmd_train_inner(args) -> int:
     if args.trace is None:
         return _run_train(args)
     from repro.obs import TelemetryCollector, activate, validate_chrome_trace

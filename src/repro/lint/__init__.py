@@ -13,7 +13,16 @@ guarantees earlier PRs established by construction:
   :mod:`repro.obs.registry` (:mod:`repro.lint.telemetry`);
 * ``race-shared-write`` / ``race-schedule`` — threaded executors respect the
   declared lock discipline, and compiled schedules are mechanically verified
-  conflict-free (:mod:`repro.lint.races`).
+  conflict-free (:mod:`repro.lint.races`);
+* ``shm-lifecycle`` / ``barrier-pairing`` — shared-memory segments are
+  released and barriers carry a timed wait plus an abort path
+  (:mod:`repro.lint.parallelism`);
+* ``suppression-stale`` — every ``# lint:`` annotation still silences a
+  finding some pass would otherwise report (:mod:`repro.lint.stale`).
+
+reprolint is the *static* half of the checking story; its runtime
+complement is reprosan (:mod:`repro.san`), which observes the executors
+live. ``docs/STATIC_ANALYSIS.md`` has the division of labor.
 
 Entry points: ``repro lint`` / ``cumf-sgd lint`` (main CLI),
 ``python -m repro.lint`` (standalone), :func:`run_lint` (library), and the

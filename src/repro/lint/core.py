@@ -116,6 +116,24 @@ class LintPass:
         """One whole-run check after all files were visited (optional)."""
         return ()
 
+    def check_suppressions(
+        self,
+        contexts: list["FileContext"],
+        raw: list[tuple["LintPass", Finding, set | None]],
+        passes: list["LintPass"],
+    ) -> Iterable[Finding]:
+        """Meta-check over the run's *raw* (pre-filter) findings (optional).
+
+        The driver calls this after every ``check_file``/``check_tree``
+        finding has been collected, passing the shared contexts, the raw
+        ``(pass, finding, tags)`` triples, and the pass instances. Used by
+        passes whose subject is the lint run itself — e.g.
+        ``suppression-stale``, which must see what *would* have fired to
+        decide whether an annotation still earns its keep. Findings
+        yielded here go through the normal suppression filter.
+        """
+        return ()
+
 
 def parse_suppressions(source: str) -> dict[int, set[str]]:
     """Extract ``# lint:`` tags per line (standalone comments also cover the

@@ -29,8 +29,10 @@ from typing import Iterable, Sequence
 from repro.lint.allocations import HotPathAllocationPass
 from repro.lint.core import Finding, LintPass, load_file_context
 from repro.lint.dtypes import DtypeDisciplinePass
+from repro.lint.parallelism import BarrierPairingPass, ShmLifecyclePass
 from repro.lint.races import ScheduleRacePass
 from repro.lint.rng import SeededRngPass
+from repro.lint.stale import SuppressionStalePass
 from repro.lint.telemetry import TelemetryNamespacePass
 
 __all__ = [
@@ -42,13 +44,17 @@ __all__ = [
     "write_baseline",
 ]
 
-#: the five shipped passes, in execution order
+#: the shipped passes, in execution order (suppression-stale runs last by
+#: construction — it audits the other passes' raw findings)
 DEFAULT_PASSES: tuple[type[LintPass], ...] = (
     HotPathAllocationPass,
     DtypeDisciplinePass,
     SeededRngPass,
     TelemetryNamespacePass,
     ScheduleRacePass,
+    ShmLifecyclePass,
+    BarrierPairingPass,
+    SuppressionStalePass,
 )
 
 _SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "repro.egg-info", ".github"}
@@ -129,6 +135,18 @@ def run_lint(
     for p in instances:
         for finding in p.check_tree(contexts):
             raw.append((p, finding, None))
+
+    # meta-passes see the complete raw finding list (snapshot semantics:
+    # collected first so every pass audits the same run), and their own
+    # findings stay suppressible like any other
+    by_rel = {ctx.rel: ctx for ctx in contexts}
+    meta: list[tuple[LintPass, Finding, set[str] | None]] = []
+    for p in instances:
+        for finding in p.check_suppressions(contexts, raw, instances):
+            ctx = by_rel.get(finding.path)
+            tags = ctx.tags_for(finding.line) if ctx is not None else None
+            meta.append((p, finding, tags))
+    raw.extend(meta)
 
     for p, finding, tags in raw:
         if tags and tags & p.accepted_tags():

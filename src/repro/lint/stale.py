@@ -1,0 +1,94 @@
+"""Pass 8: stale-suppression detection (rule ``suppression-stale``).
+
+Suppressions rot: a ``# lint: hotpath-alloc`` annotation survives the
+refactor that removed the allocation it excused, and from then on it
+silently pre-authorizes the *next* allocation someone writes on that line.
+This pass closes the loop — every ``# lint:`` comment must still be earning
+its keep.
+
+A suppression comment is **live** when some pass produced a finding on a
+line it covers (its own line, plus the next line for standalone comments —
+the exact coverage rule of :func:`repro.lint.core.parse_suppressions`)
+carrying a tag that pass accepts. Anything else is stale and gets flagged
+at the comment's own location. ``# lint: all`` comments are exempt: they
+are a deliberate blanket and the docs already say to use them sparingly.
+
+Mechanically this cannot be a normal :meth:`~repro.lint.core.LintPass.
+check_file` pass — liveness is defined against the *other passes'* raw
+findings, before suppression filtering. It uses the
+:meth:`~repro.lint.core.LintPass.check_suppressions` hook the driver calls
+once the full raw finding list exists. Comments are located by re-lexing
+each file with :mod:`tokenize` (COMMENT tokens only), because ``# lint:``
+also appears inside docstrings — the lint package's own documentation would
+light up under a raw regex scan.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Iterable
+
+from repro.lint.core import _SUPPRESS_RE, FileContext, Finding, LintPass
+
+__all__ = ["SuppressionStalePass"]
+
+
+def _suppression_comments(source: str):
+    """Yield ``(line, col, tags, covered_lines)`` per ``# lint:`` comment."""
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _SUPPRESS_RE.search(tok.string)
+            if not m:
+                continue
+            tags = {t for t in re.split(r"[,\s]+", m.group("tags").strip()) if t}
+            if not tags:
+                continue
+            line = tok.start[0]
+            covered = {line}
+            if tok.line[: tok.start[1]].strip() == "":  # standalone
+                covered.add(line + 1)
+            yield line, tok.start[1], tags, covered
+    except tokenize.TokenError:
+        return
+
+
+class SuppressionStalePass(LintPass):
+    rule = "suppression-stale"
+    description = (
+        "every # lint: suppression comment must still silence a finding "
+        "some pass would otherwise report on a line it covers"
+    )
+
+    def check_suppressions(
+        self,
+        contexts: list[FileContext],
+        raw: list[tuple[LintPass, Finding, set | None]],
+        passes: list[LintPass],
+    ) -> Iterable[Finding]:
+        # (path, line) -> accepted tags of passes that fired there
+        fired: dict[tuple[str, int], set[str]] = {}
+        for p, finding, _tags in raw:
+            fired.setdefault(
+                (finding.path, finding.line), set()
+            ).update(p.accepted_tags())
+        for ctx in contexts:
+            for line, col, tags, covered in _suppression_comments(ctx.source):
+                if "all" in tags:
+                    continue
+                live = any(
+                    tags & fired.get((ctx.rel, cov), set())
+                    for cov in covered
+                )
+                if not live:
+                    listed = ", ".join(sorted(tags))
+                    yield Finding(
+                        ctx.rel, line, col, self.rule,
+                        f"suppression '# lint: {listed}' no longer matches "
+                        "any finding on the lines it covers; delete it (a "
+                        "stale tag pre-authorizes the next regression here)",
+                    )

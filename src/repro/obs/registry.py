@@ -438,6 +438,13 @@ class M:
     RESILIENCE_DEMO_UPDATES = "repro.resilience.demo.updates"
     RESILIENCE_DEMO_BLOCKS = "repro.resilience.demo.blocks"
     RESILIENCE_DEMO_ROUNDS = "repro.resilience.demo.rounds"
+    # runtime sanitizer (reprosan, repro.san)
+    SAN_FINDINGS = "repro.san.findings"
+    SAN_RACE_SAMPLES = "repro.san.race.samples"
+    SAN_RACE_RACED = "repro.san.race.raced"
+    SAN_RACE_RATE = "repro.san.race.rate"
+    SAN_NUMERIC_CHECKS = "repro.san.numeric.checks"
+    SAN_LIFECYCLE_LEAKS = "repro.san.lifecycle.leaks"
 
 
 #: every declared metric name, for membership checks

@@ -38,10 +38,13 @@ write-disjoint slots (one per worker id).
 
 from __future__ import annotations
 
+import json
 import multiprocessing as mp
+import threading
 import time
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
+from pathlib import Path
 
 import numpy as np
 
@@ -60,6 +63,14 @@ from repro.obs.profiler import (
     WorkerPhases,
 )
 from repro.obs.relay import TraceRelay, WorkerTelemetry
+from repro.san.core import (
+    activate_sanitizer,
+    active_sanitizer,
+    sanitizer_from_mode,
+)
+from repro.san.errors import SanitizerError
+from repro.san.lifecycle import track_shm
+from repro.san.races import dump_log, load_spools
 from repro.sched.plan import EpochPlan
 
 __all__ = ["ProcessHogwild"]
@@ -69,9 +80,11 @@ __all__ = ["ProcessHogwild"]
 #: ``stage``, and ``phases`` are write-disjoint shared arrays (one
 #: slot/row per worker id), ``ctl`` is written by the parent between
 #: barriers and only read by workers (except the error flag,
-#: last-writer-wins by design). P and Q races are the whole point of
-#: Hogwild! and happen inside the kernels.
-SHARED_WRITE_OK = ("counts", "ctl", "stage", "phases")
+#: last-writer-wins by design). ``failures``/``done`` are the barrier
+#: waiter thread's hand-off to the watching parent (list append is
+#: GIL-atomic, ``Event.set`` is thread-safe). P and Q races are the
+#: whole point of Hogwild! and happen inside the kernels.
+SHARED_WRITE_OK = ("counts", "ctl", "stage", "phases", "failures", "done")
 
 #: control-array slots: command word, epoch hyperparameters, error flag,
 #: current epoch number (for span labelling)
@@ -97,26 +110,45 @@ _PHASE_FIELDS = 6
 _EPOCH_TIMEOUT_S = 600.0
 
 
+def _register_skipping_shm(original):
+    """Resource-tracker ``register`` shim forwarding all but shm rtypes.
+
+    The previous workaround replaced ``register`` with a bare no-op for the
+    attach window, which also swallowed registrations of *other* resource
+    types (semaphores, e.g. a ``Barrier`` constructed concurrently on
+    another thread) and left them untracked for the process's lifetime.
+    This shim drops only the ``"shared_memory"`` rtype — the one the attach
+    spuriously registers (bpo-39959) — and forwards everything else.
+    """
+
+    def register(name, rtype):
+        if rtype != "shared_memory":
+            original(name, rtype)
+
+    return register
+
+
 def _attach(name: str) -> shared_memory.SharedMemory:
     """Attach to an existing segment without double-registering it.
 
     Child attaches register with the resource tracker as if they owned the
     segment (bpo-39959), which triggers spurious unlink-at-exit warnings and
     can destroy a segment the parent still owns. Python 3.13 grew
-    ``track=False``; older versions need the hook suppressed below.
+    ``track=False``; older versions need the hook narrowed below.
     """
     try:
         return shared_memory.SharedMemory(name=name, track=False)
     except TypeError:
         pass
-    # pre-3.13: suppress the tracker's register hook for the duration of the
-    # attach. Unregistering *after* would misfire under fork, where parent
-    # and child share one tracker process — the child's unregister would
-    # erase the parent's (legitimate, unlink-owning) registration.
+    # pre-3.13: narrow the tracker's register hook for the duration of the
+    # attach (shm registrations dropped, every other rtype still tracked).
+    # Unregistering *after* would misfire under fork, where parent and
+    # child share one tracker process — the child's unregister would erase
+    # the parent's (legitimate, unlink-owning) registration.
     from multiprocessing import resource_tracker
 
     original = resource_tracker.register
-    resource_tracker.register = lambda *args, **kwargs: None
+    resource_tracker.register = _register_skipping_shm(original)
     try:
         return shared_memory.SharedMemory(name=name)
     finally:
@@ -167,22 +199,28 @@ def _run_shard(ws, wave_update, plan_view, p, q, rows, cols, vals,
 
 
 def _run_blocks(ws, serial_update, prefetcher, p, q, lr, lam_p, lam_q,
-                max_wave):
+                max_wave, san=None, wid=0, epoch=0):
     """One epoch of one worker's block set — the out-of-core hot loop.
 
     Blocks arrive through the double-buffered prefetcher (next shard loads
     while this one computes); each block replays through the backend's
     serial-equivalent kernel (numpy: :func:`sgd_serial_update`) with the
-    paper's chunk size as the wave cap. Registered in lint
-    ``HOT_FUNCTIONS``.
+    paper's chunk size as the wave cap. With a sanitizer attached each
+    block's update coverage lands in the shadow access log (exactly-once
+    auditing; the per-sample write order inside a block is serial).
+    Registered in lint ``HOT_FUNCTIONS``.
     """
     updates = 0
+    seq = 0
     for _, rec in prefetcher:
         rows = rec["u"]
         cols = rec["v"]
         vals = rec["r"]
         serial_update(p, q, rows, cols, vals, lr, lam_p, lam_q,
                       max_wave=max_wave, workspace=ws)
+        if san is not None:
+            san.block_executed(wid, epoch, seq, rows, cols)
+        seq += 1
         updates += len(rec)
     return updates
 
@@ -233,6 +271,11 @@ class _WorkerConfig:
     # its own JSONL file against the parent tracer's clock origin
     spool_path: str | None = None
     trace_origin: float = 0.0
+    # sanitizer: mode travels by value (contextvars do not cross the
+    # process boundary); workers spool shadow access logs and typed error
+    # detail into ``san_spool`` for the parent to merge after join
+    sanitize: str = "off"
+    san_spool: str | None = None
     #: parent's perf_counter right before Process.start() — the zero point
     #: of this worker's wall/spawn accounting (perf_counter is
     #: CLOCK_MONOTONIC, comparable across processes on one host)
@@ -248,6 +291,10 @@ def _worker_main(cfg: _WorkerConfig) -> None:
         telemetry = WorkerTelemetry(
             cfg.wid, origin=cfg.trace_origin, spool_path=cfg.spool_path
         )
+    # the sanitizer mode ships by value and each worker builds its own
+    # instance: shadow access logs spool to ``cfg.san_spool`` and typed
+    # errors travel back as JSON (contextvars never cross the fork/spawn)
+    san = sanitizer_from_mode(cfg.sanitize)
     shms = []
 
     def attach(name):
@@ -301,85 +348,119 @@ def _worker_main(cfg: _WorkerConfig) -> None:
                 "spawn/attach", born - cfg.trace_origin, setup_done - born,
                 cat="spawn",
             )
-        while True:
-            t_b0 = time.perf_counter()
-            cfg.start_barrier.wait()
-            t_b1 = time.perf_counter()
-            if ctl[_CMD] == _CMD_EXIT:
-                return
-            epoch = int(ctl[_EPOCH])
-            phases[cfg.wid, _PH_EPOCH_BARRIER] = t_b1 - t_b0
-            phases[cfg.wid, _PH_BARRIER] += t_b1 - t_b0
-            if telemetry is not None:
-                telemetry.add_span(
-                    "barrier.dispatch", t_b0 - cfg.trace_origin, t_b1 - t_b0,
-                    cat="barrier", args={"epoch": epoch},
-                )
-            lr = np.float32(ctl[_LR])
-            lam_p = np.float32(ctl[_LAM_P])
-            lam_q = np.float32(ctl[_LAM_Q])
-            try:
-                t_c0 = time.perf_counter()
-                if out_of_core:
-                    order = blocks
-                    if cfg.shuffle_each_epoch and len(blocks) > 1:
-                        perm = wrng.permutation(len(blocks))
-                        order = [blocks[i] for i in perm]
-                    prefetcher = BlockPrefetcher(
-                        store, order, depth=cfg.prefetch_depth,
-                        telemetry=telemetry,
-                    )
-                    n = _run_blocks(ws, serial_update, prefetcher,
-                                    model.p, model.q,
-                                    lr, lam_p, lam_q, cfg.max_wave)
-                    compute_s = time.perf_counter() - t_c0
-                    s = prefetcher.stats
-                    stage[cfg.wid, 0] += s.blocks_loaded
-                    stage[cfg.wid, 1] += s.bytes_loaded
-                    stage[cfg.wid, 2] += s.load_seconds
-                    stage[cfg.wid, 3] += s.wait_seconds
-                    # the block loop's wall time splits into prefetch stall
-                    # (consumer blocked on the loader) and true compute
-                    phases[cfg.wid, _PH_PREFETCH] += s.wait_seconds
-                    phases[cfg.wid, _PH_COMPUTE] += max(
-                        0.0, compute_s - s.wait_seconds
-                    )
-                else:
-                    plan_view.version += 1
-                    n = _run_shard(ws, wave_update, plan_view,
-                                   model.p, model.q,
-                                   rows, cols, vals, shard_lengths,
-                                   lr, lam_p, lam_q)
-                    compute_s = time.perf_counter() - t_c0
-                    phases[cfg.wid, _PH_COMPUTE] += compute_s
-                counts[cfg.wid] = n
+        with activate_sanitizer(san):
+            while True:
+                t_b0 = time.perf_counter()
+                cfg.start_barrier.wait()
+                t_b1 = time.perf_counter()
+                if ctl[_CMD] == _CMD_EXIT:
+                    return
+                epoch = int(ctl[_EPOCH])
+                phases[cfg.wid, _PH_EPOCH_BARRIER] = t_b1 - t_b0
+                phases[cfg.wid, _PH_BARRIER] += t_b1 - t_b0
                 if telemetry is not None:
                     telemetry.add_span(
-                        f"epoch {epoch} compute", t_c0 - cfg.trace_origin,
-                        compute_s, cat="compute",
-                        args={"epoch": epoch, "updates": int(n)},
+                        "barrier.dispatch", t_b0 - cfg.trace_origin,
+                        t_b1 - t_b0, cat="barrier", args={"epoch": epoch},
                     )
-            except BaseException:
-                ctl[_ERR] = float(cfg.wid + 1)
-                import traceback
+                lr = np.float32(ctl[_LR])
+                lam_p = np.float32(ctl[_LAM_P])
+                lam_q = np.float32(ctl[_LAM_Q])
+                try:
+                    t_c0 = time.perf_counter()
+                    if out_of_core:
+                        order = blocks
+                        if cfg.shuffle_each_epoch and len(blocks) > 1:
+                            perm = wrng.permutation(len(blocks))
+                            order = [blocks[i] for i in perm]
+                        prefetcher = BlockPrefetcher(
+                            store, order, depth=cfg.prefetch_depth,
+                            telemetry=telemetry,
+                        )
+                        n = _run_blocks(ws, serial_update, prefetcher,
+                                        model.p, model.q,
+                                        lr, lam_p, lam_q, cfg.max_wave,
+                                        san=san, wid=cfg.wid, epoch=epoch)
+                        compute_s = time.perf_counter() - t_c0
+                        s = prefetcher.stats
+                        stage[cfg.wid, 0] += s.blocks_loaded
+                        stage[cfg.wid, 1] += s.bytes_loaded
+                        stage[cfg.wid, 2] += s.load_seconds
+                        stage[cfg.wid, 3] += s.wait_seconds
+                        # the block loop's wall time splits into prefetch
+                        # stall (consumer blocked on the loader) and compute
+                        phases[cfg.wid, _PH_PREFETCH] += s.wait_seconds
+                        phases[cfg.wid, _PH_COMPUTE] += max(
+                            0.0, compute_s - s.wait_seconds
+                        )
+                    else:
+                        plan_view.version += 1
+                        wu = wave_update
+                        if san is not None:
+                            # fresh wrapper per epoch: the shadow log keys
+                            # every wave to (worker, epoch, wave)
+                            wu = san.wave_kernel(
+                                wave_update, wid=cfg.wid, epoch=epoch
+                            )
+                        n = _run_shard(ws, wu, plan_view,
+                                       model.p, model.q,
+                                       rows, cols, vals, shard_lengths,
+                                       lr, lam_p, lam_q)
+                        compute_s = time.perf_counter() - t_c0
+                        phases[cfg.wid, _PH_COMPUTE] += compute_s
+                    counts[cfg.wid] = n
+                    if telemetry is not None:
+                        telemetry.add_span(
+                            f"epoch {epoch} compute",
+                            t_c0 - cfg.trace_origin,
+                            compute_s, cat="compute",
+                            args={"epoch": epoch, "updates": int(n)},
+                        )
+                except BaseException as exc:
+                    ctl[_ERR] = float(cfg.wid + 1)
+                    if (
+                        cfg.san_spool is not None
+                        and isinstance(exc, SanitizerError)
+                    ):
+                        # ship the typed detail; the parent re-raises a
+                        # SanitizerError with these coordinates instead of
+                        # a generic "worker failed"
+                        try:
+                            (
+                                Path(cfg.san_spool)
+                                / f"error_w{cfg.wid:04d}.json"
+                            ).write_text(json.dumps(exc.as_dict()))
+                        except OSError:  # pragma: no cover - disk gone
+                            pass
+                    import traceback
 
-                traceback.print_exc()
-            t_d0 = time.perf_counter()
-            cfg.done_barrier.wait()
-            t_d1 = time.perf_counter()
-            # written after the parent is released — the parent must join
-            # (``_SharedCluster.shutdown``) before reading phase totals, or
-            # it races these writes and sees compute > wall
-            # (completion-barrier wait: idle until the slowest sibling)
-            phases[cfg.wid, _PH_BARRIER] += t_d1 - t_d0
-            phases[cfg.wid, _PH_WALL] = t_d1 - born
-            if telemetry is not None:
-                telemetry.add_span(
-                    "barrier.complete", t_d0 - cfg.trace_origin, t_d1 - t_d0,
-                    cat="barrier", args={"epoch": epoch},
-                )
-                telemetry.flush()
+                    traceback.print_exc()
+                t_d0 = time.perf_counter()
+                cfg.done_barrier.wait()
+                t_d1 = time.perf_counter()
+                # written after the parent is released — the parent must
+                # join (``_SharedCluster.shutdown``) before reading phase
+                # totals, or it races these writes and sees compute > wall
+                # (completion-barrier wait: idle until the slowest sibling)
+                phases[cfg.wid, _PH_BARRIER] += t_d1 - t_d0
+                phases[cfg.wid, _PH_WALL] = t_d1 - born
+                if telemetry is not None:
+                    telemetry.add_span(
+                        "barrier.complete", t_d0 - cfg.trace_origin,
+                        t_d1 - t_d0, cat="barrier", args={"epoch": epoch},
+                    )
+                    telemetry.flush()
     finally:
+        if (
+            san is not None
+            and san.check_races
+            and cfg.san_spool is not None
+        ):
+            # torn writes tolerated: the parent's load_spools skips any
+            # file a dying worker left incomplete
+            dump_log(
+                Path(cfg.san_spool) / f"san_{cfg.wid:04d}.npz", san.race_log
+            )
         if telemetry is not None:
             telemetry.flush()
         for shm in shms:
@@ -404,10 +485,16 @@ class _SharedCluster:
         self.plan_matrix = None
         self.ctl = self.counts = self.stage = None
         self.phases = None
+        #: sanitizer spool directory (race logs + typed worker errors)
+        self.san_spool: str | None = None
 
     # ------------------------------------------------------------------
     def _alloc(self, nbytes: int) -> shared_memory.SharedMemory:
-        shm = shared_memory.SharedMemory(create=True, size=max(int(nbytes), 1))
+        # track_shm is a no-op without an ambient sanitizer; with one, the
+        # lifecycle ledger audits this create against close()+unlink()
+        shm = track_shm(
+            shared_memory.SharedMemory(create=True, size=max(int(nbytes), 1))
+        )
         self._segments.append(shm)
         self.shm_bytes += shm.size
         return shm
@@ -430,6 +517,8 @@ class _SharedCluster:
         backend: str = "numpy",
         relay: TraceRelay | None = None,
         trace_origin: float = 0.0,
+        sanitize: str = "off",
+        san_spool: str | None = None,
     ) -> FactorModel:
         """Copy the model (and data, in-memory mode) into shared segments
         and launch the worker pool. Returns the shared-memory-backed model
@@ -438,7 +527,10 @@ class _SharedCluster:
         ``relay`` (plus the parent tracer's ``trace_origin``) switches on
         per-worker span spooling; phase accounting in the shared ``phases``
         array is always on (a handful of ``perf_counter`` calls per epoch).
+        ``sanitize``/``san_spool`` arm the in-worker sanitizer the same way
+        the relay arms span spooling.
         """
+        self.san_spool = san_spool
         m, n, k = model.m, model.n, model.k
         p_sh, p_name = self._shared_array((m, k), np.float32)
         q_sh, q_name = self._shared_array((n, k), np.float32)
@@ -478,6 +570,8 @@ class _SharedCluster:
             max_wave=max_wave,
             backend=backend,
             shuffle_each_epoch=shuffle_each_epoch,
+            sanitize=sanitize,
+            san_spool=san_spool,
         )
         if store is not None:
             assignment = store.assign(self.n_procs)
@@ -541,15 +635,85 @@ class _SharedCluster:
         self.ctl[_ERR] = 0.0
         self.ctl[_EPOCH] = float(epoch)
         t0 = time.perf_counter()
-        self.start_barrier.wait(timeout=_EPOCH_TIMEOUT_S)
+        self._wait_barrier(self.start_barrier, "dispatch")
         self.barrier_wait_seconds += time.perf_counter() - t0
-        self.done_barrier.wait(timeout=_EPOCH_TIMEOUT_S)
+        self._wait_barrier(self.done_barrier, "completion")
         if self.ctl[_ERR]:
+            wid = int(self.ctl[_ERR]) - 1
+            typed = self._worker_error(wid)
+            if typed is not None:
+                raise typed
             raise RuntimeError(
-                f"worker {int(self.ctl[_ERR]) - 1} failed during the epoch "
+                f"worker {wid} failed during the epoch "
                 "(traceback on its stderr)"
             )
         return int(self.counts.sum())
+
+    def _wait_barrier(self, barrier, stage: str) -> None:
+        """Wait on ``barrier`` while watching the pool for dead workers.
+
+        ``mp.Barrier.wait(timeout)`` *breaks* the barrier on timeout, so
+        the parent cannot poll-wait on the barrier itself. Instead a
+        daemon thread performs the real wait while this thread polls
+        ``Process.is_alive``: a worker killed mid-epoch (segfault, OOM
+        reaper) surfaces within ~50 ms as a diagnostic naming the worker,
+        pid, exit code, and barrier stage — not as a ten-minute hang
+        ending in an opaque ``BrokenBarrierError``.
+        """
+        done = threading.Event()
+        failures: list[BaseException] = []
+
+        def waiter() -> None:
+            try:
+                barrier.wait(timeout=_EPOCH_TIMEOUT_S)
+            except BaseException as exc:
+                failures.append(exc)
+            finally:
+                done.set()
+
+        thread = threading.Thread(
+            target=waiter, daemon=True, name=f"barrier-wait-{stage}"
+        )
+        thread.start()
+        while not done.wait(0.05):
+            dead = [
+                (wid, proc)
+                for wid, proc in enumerate(self._procs)
+                if not proc.is_alive()
+            ]
+            if dead:
+                # release everyone still parked (the waiter thread and any
+                # surviving workers see BrokenBarrierError and unwind)
+                barrier.abort()
+                done.wait(5.0)
+                wid, proc = dead[0]
+                raise RuntimeError(
+                    f"worker {wid} (pid {proc.pid}, exit code "
+                    f"{proc.exitcode}) died during the '{stage}' barrier; "
+                    "aborted the barrier to release the remaining workers"
+                )
+        if failures:
+            raise RuntimeError(
+                f"'{stage}' barrier broke without completing "
+                f"(timeout {_EPOCH_TIMEOUT_S:.0f}s): {failures[0]!r}"
+            ) from failures[0]
+
+    def _worker_error(self, wid: int) -> SanitizerError | None:
+        """Reconstruct a worker's typed sanitizer failure, if it left one."""
+        if self.san_spool is None:
+            return None
+        path = Path(self.san_spool) / f"error_w{wid:04d}.json"
+        try:
+            state = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return SanitizerError(
+            str(state.get("kind", "unknown")),
+            str(state.get("message", "")),
+            worker=state.get("worker"),
+            epoch=state.get("epoch"),
+            wave=state.get("wave"),
+        )
 
     def worker_updates(self) -> list[int]:
         return [int(c) for c in self.counts]
@@ -594,7 +758,12 @@ class _SharedCluster:
         try:
             if self.ctl is not None:
                 self.ctl[_CMD] = _CMD_EXIT
-            self.start_barrier.wait(timeout=30.0)
+            if any(not proc.is_alive() for proc in self._procs):
+                # a dead worker can never reach the barrier — abort it so
+                # any survivors unwind instead of stalling the full timeout
+                self.start_barrier.abort()
+            else:
+                self.start_barrier.wait(timeout=30.0)
         except Exception:  # pragma: no cover - pool already dead
             pass
         for proc in self._procs:
@@ -773,6 +942,14 @@ class ProcessHogwild:
             import tempfile
 
             relay = TraceRelay(tempfile.mkdtemp(prefix="cumf-relay-"))
+        san = active_sanitizer()
+        san_dir = None
+        if san is not None:
+            import tempfile
+
+            # workers spool shadow access logs + typed errors here; merged
+            # after the pool joins, removed before fit returns
+            san_dir = tempfile.mkdtemp(prefix="cumf-san-")
         from repro.backends import get_backend
 
         # resolve (and verify) in the parent; ship only the name so workers
@@ -785,6 +962,8 @@ class ProcessHogwild:
                 backend=backend_name,
                 relay=relay,
                 trace_origin=tracer.origin if tracer is not None else 0.0,
+                sanitize=san.mode if san is not None else "off",
+                san_spool=san_dir,
             )
             for epoch in range(epochs):
                 if epoch and plan is not None and self.shuffle_each_epoch:
@@ -796,6 +975,11 @@ class ProcessHogwild:
                 )
                 seconds = time.perf_counter() - t0
                 epochs_run += 1
+                if san is not None:
+                    # deterministic sweep over the *shared* factor views —
+                    # an injected NaN is caught the epoch it lands,
+                    # regardless of worker-side sampling
+                    san.epoch_end(model.p, model.q, epoch=epoch + 1)
                 self.worker_updates = cluster.worker_updates()
                 self._barrier_waits.append(cluster.epoch_barrier_waits())
                 for wid, c in enumerate(self.worker_updates):
@@ -833,6 +1017,14 @@ class ProcessHogwild:
             # yields per-worker compute > wall (satellite fix; the
             # invariant is now enforced by StallReport.validate_dict)
             cluster.shutdown()
+            if san_dir is not None:
+                # workers are joined — their spools are complete (or torn,
+                # which load_spools tolerates). Merge, then drop the dir.
+                if san is not None and san.check_races:
+                    load_spools(san_dir, san.race_log)
+                import shutil
+
+                shutil.rmtree(san_dir, ignore_errors=True)
             self.barrier_wait_seconds = cluster.barrier_wait_seconds
             if self.store is not None:
                 self.stage_stats = cluster.stage_stats()

@@ -46,6 +46,7 @@ from repro.obs.hooks import (
 from repro.obs.profiler import StallReport, WorkerPhases
 from repro.obs.relay import THREAD_TID_BASE, WorkerTelemetry, merge_records
 from repro.obs.tracer import WALL_PID
+from repro.san.core import active_sanitizer
 from repro.sched.plan import SerialPlan
 
 __all__ = ["ThreadedHogwild"]
@@ -140,6 +141,17 @@ class ThreadedHogwild:
         errors: list[BaseException] = []
         lr32 = np.float32(lr)
         lam32 = np.float32(self.lam)
+        san = active_sanitizer()
+        if san is not None:
+            # per-thread wrappers, rebuilt each epoch so the shadow access
+            # log carries (worker, epoch, segment) coordinates; "segment"
+            # kind: within a SerialPlan segment rows/cols are conflict-free
+            kernels = [
+                san.wave_kernel(k, wid=tid, epoch=epoch, kind="segment")
+                for tid, k in enumerate(self._bound_kernels)
+            ]
+        else:
+            kernels = self._bound_kernels
         dispatched = time.perf_counter()
 
         def work(tid: int, idx: np.ndarray) -> None:
@@ -153,7 +165,7 @@ class ThreadedHogwild:
                 plan = SerialPlan.compile(rows, cols, self.intra_batch)
                 t_c0 = time.perf_counter()
                 _replay_shard(
-                    self._bound_kernels[tid], model.p, model.q,
+                    kernels[tid], model.p, model.q,
                     rows, cols, vals,
                     plan.starts.tolist(), plan.stops.tolist(),
                     lr32, lam32, lam32,
@@ -250,6 +262,9 @@ class ThreadedHogwild:
                 tele, phase_secs, walls,
             )
             seconds = time.perf_counter() - t0
+            san = active_sanitizer()
+            if san is not None:
+                san.epoch_end(self.model.p, self.model.q, epoch=epoch + 1)
             for tid, c in enumerate(self.thread_updates):
                 total_updates[tid] += c
             t1 = time.perf_counter()

@@ -1,0 +1,59 @@
+"""reprosan: runtime race / numeric / lifecycle sanitizer for the executors.
+
+reprolint (:mod:`repro.lint`) proves the *compiled schedules* conflict-free
+statically; reprosan verifies the *execution*. When activated (ambiently,
+like the tracer), the Hogwild executors route their wave kernels through a
+thin instrumented wrapper that records per-worker shadow access logs and
+runs sampled numeric checks; a post-fit checker then detects within-wave
+write overlaps, cross-shard ownership violations, non-finite factors, and
+leaked shared-memory segments / mmaps — and quantifies the benign
+cross-worker race rate the HOGWILD! argument tolerates.
+
+Usage::
+
+    from repro.san import Sanitizer, activate_sanitizer
+
+    san = Sanitizer("all")          # "races" | "numeric" | "all"
+    with activate_sanitizer(san):
+        estimator.fit(train, epochs=5)
+    report = san.finalize()         # raises nothing; findings listed
+    print(report.format())
+
+``cumf-sgd train … --sanitize all`` and ``benchmarks/bench_parallel.py
+--sanitize`` wire this end to end. Overhead is gated (< 10%) by
+``benchmarks/bench_hot_path.py``.
+"""
+
+from repro.san.core import (
+    MODES,
+    SanFinding,
+    Sanitizer,
+    SanitizerError,
+    activate_sanitizer,
+    active_sanitizer,
+    instrument_kernel,
+    sanitizer_from_mode,
+)
+from repro.san.lifecycle import LifecycleTracker, track_shm
+from repro.san.numeric import NumericSentry
+from repro.san.races import AccessLog, analyze_log, dump_log, load_spools
+from repro.san.report import SanReport
+
+__all__ = [
+    "MODES",
+    "AccessLog",
+    "LifecycleTracker",
+    "NumericSentry",
+    "SanFinding",
+    "SanReport",
+    "Sanitizer",
+    "SanitizerError",
+    "activate_sanitizer",
+    "active_sanitizer",
+    "analyze_log",
+    "dump_log",
+    "instrument_kernel",
+    "load_spools",
+    "sanitizer_from_mode",
+    "track_shm",
+]

@@ -1,0 +1,12 @@
+"""Fixture: a Barrier with only untimed waits and no abort path."""
+
+import threading
+
+
+def make_rendezvous(n):
+    barrier = threading.Barrier(n)
+
+    def step():
+        barrier.wait()  # untimed: a dead peer hangs this forever
+
+    return step

@@ -1,0 +1,10 @@
+"""Fixture: creates a SharedMemory segment, never releases it."""
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+def alloc_block(nbytes):
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)
+    return np.ndarray((nbytes,), dtype=np.uint8, buffer=shm.buf)

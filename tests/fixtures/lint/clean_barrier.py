@@ -1,0 +1,15 @@
+"""Fixture: Barrier with a timed wait and an abort on teardown."""
+
+import threading
+
+
+def make_rendezvous(n):
+    barrier = threading.Barrier(n)
+
+    def step():
+        barrier.wait(timeout=30.0)
+
+    def teardown():
+        barrier.abort()
+
+    return step, teardown

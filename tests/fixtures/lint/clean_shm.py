@@ -1,0 +1,17 @@
+"""Fixture: SharedMemory create/attach with the full release protocol."""
+
+from multiprocessing import shared_memory
+
+
+def alloc_block(nbytes):
+    return shared_memory.SharedMemory(create=True, size=nbytes)
+
+
+def attach_block(name):
+    return shared_memory.SharedMemory(name=name)
+
+
+def release(shm, owner):
+    shm.close()
+    if owner:
+        shm.unlink()

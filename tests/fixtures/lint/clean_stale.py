@@ -1,0 +1,7 @@
+"""Fixture: every suppression still silences a live finding."""
+
+import numpy as np
+
+
+def legacy_draw(n):
+    return np.random.rand(n)  # lint: rng-legacy -- comparison shim

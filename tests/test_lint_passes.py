@@ -20,6 +20,9 @@ BAD_FIXTURES = {
     "bad_rng.py": "rng-legacy",
     "bad_metric.py": "metric-name",
     "bad_races.py": "race-shared-write",
+    "bad_shm.py": "shm-lifecycle",
+    "bad_barrier.py": "barrier-pairing",
+    "bad_stale.py": "suppression-stale",
 }
 CLEAN_FIXTURES = [
     "clean_hotpath.py",
@@ -27,6 +30,9 @@ CLEAN_FIXTURES = [
     "clean_rng.py",
     "clean_metric.py",
     "clean_races.py",
+    "clean_shm.py",
+    "clean_barrier.py",
+    "clean_stale.py",
 ]
 
 
@@ -81,6 +87,78 @@ def test_bad_races_flags_write_call_and_global():
     assert "writes shared state" in messages
     assert "mutating" in messages
     assert "global" in messages
+
+
+def test_bad_shm_names_both_missing_calls():
+    report = run_lint([FIXTURES / "bad_shm.py"])
+    messages = [f.message for f in report.findings if f.rule == "shm-lifecycle"]
+    assert messages and all(".close() or .unlink()" in m for m in messages)
+
+
+def test_shm_attach_only_needs_close(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "from multiprocessing import shared_memory\n"
+        "def attach(name):\n"
+        "    return shared_memory.SharedMemory(name=name)\n"
+    )
+    report = run_lint([target])
+    assert any(
+        f.rule == "shm-lifecycle" and "attach" in f.message
+        for f in report.findings
+    )
+    target.write_text(
+        target.read_text() + "def release(shm):\n    shm.close()\n"
+    )
+    report = run_lint([target])
+    assert not any(f.rule == "shm-lifecycle" for f in report.findings)
+
+
+def test_bad_barrier_names_each_gap():
+    report = run_lint([FIXTURES / "bad_barrier.py"])
+    messages = " ".join(
+        f.message for f in report.findings if f.rule == "barrier-pairing"
+    )
+    assert "timed" in messages
+    assert ".abort()" in messages
+
+
+def test_stale_suppression_points_at_the_comment():
+    report = run_lint([FIXTURES / "bad_stale.py"])
+    stale = [f for f in report.findings if f.rule == "suppression-stale"]
+    assert len(stale) == 1
+    assert "rng-legacy" in stale[0].message
+    # the flagged location is the comment itself, not the finding it missed
+    source = (FIXTURES / "bad_stale.py").read_text().splitlines()
+    assert "# lint: rng-legacy" in source[stale[0].line - 1]
+
+
+def test_live_suppression_is_not_stale():
+    report = run_lint([FIXTURES / "clean_stale.py"])
+    assert not any(f.rule == "suppression-stale" for f in report.findings)
+    assert any(f.rule == "rng-legacy" for f in report.suppressed)
+
+
+def test_stale_check_sees_standalone_coverage(tmp_path):
+    # a standalone comment covering a firing next line is live
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import numpy as np\n"
+        "# lint: rng-legacy -- shim\n"
+        "x = np.random.rand(3)\n"
+    )
+    report = run_lint([target])
+    assert not any(f.rule == "suppression-stale" for f in report.findings)
+
+
+def test_stale_findings_are_themselves_suppressible(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "# lint: suppression-stale -- kept while the kernel is ported\n"
+        "x = 1  # lint: hotpath-alloc -- nothing fires here\n"
+    )
+    report = run_lint([target])
+    assert not any(f.rule == "suppression-stale" for f in report.findings)
 
 
 # ---------------------------------------------------------------------------

@@ -62,6 +62,7 @@ class TestBenchHotPathSmoke:
                 "epoch_seconds": 0.1, "naive_epoch_seconds": 0.2,
                 "speedup": 2.0, "updates_per_sec": 1e6,
                 "profiler_overhead": 0.01,
+                "sanitizer_overhead": 0.02,
                 "plan_compiles": 1, "plan_repermutes": 1,
                 "workspace_allocations": 2, "workspace_bytes": 1024,
             },
@@ -79,6 +80,9 @@ class TestBenchHotPathSmoke:
             lambda d: d["metrics"].pop("profiler_overhead"),
             # the 5% budget is part of the schema contract
             lambda d: d["metrics"].update(profiler_overhead=0.5),
+            lambda d: d["metrics"].pop("sanitizer_overhead"),
+            # likewise the sanitizer's 10% budget
+            lambda d: d["metrics"].update(sanitizer_overhead=0.5),
             lambda d: d.pop("meta"),
             lambda d: d["meta"].pop("git_sha"),
         ):
